@@ -1,0 +1,107 @@
+//! Criterion end-to-end benchmarks of the four fixed-precision
+//! algorithms on a fixed mid-size workload, plus the DESIGN.md
+//! ablations that operate at algorithm level: COLAMD modes, L21
+//! formation, and fixed vs. aggressive ILUT thresholding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lra_core::{
+    ilut_crtp, lu_crtp, rand_qb_ei, rand_ubv, DropStrategy, IlutOpts, LFormation, LuCrtpOpts,
+    OrderingMode, QbOpts, UbvOpts,
+};
+use lra_sparse::CscMatrix;
+use std::hint::black_box;
+
+fn workload() -> CscMatrix {
+    lra_matgen::with_decay_rank(&lra_matgen::circuit(1500, 5, 8, 21), 1e-6, 400, 22)
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let a = workload();
+    let tau = 1e-2;
+    let k = 16;
+    let mut g = c.benchmark_group("fixed_precision_methods");
+    g.sample_size(10);
+    for p in [0usize, 1, 2] {
+        g.bench_with_input(BenchmarkId::new("rand_qb_ei", p), &p, |b, &p| {
+            b.iter(|| rand_qb_ei(black_box(&a), &QbOpts::new(k, tau).with_power(p)).unwrap())
+        });
+    }
+    g.bench_function("rand_ubv", |b| {
+        b.iter(|| rand_ubv(black_box(&a), &UbvOpts::new(k, tau)))
+    });
+    g.bench_function("lu_crtp", |b| {
+        b.iter(|| lu_crtp(black_box(&a), &LuCrtpOpts::new(k, tau)))
+    });
+    let lu_its = lu_crtp(&a, &LuCrtpOpts::new(k, tau)).iterations.max(1);
+    g.bench_function("ilut_crtp", |b| {
+        b.iter(|| ilut_crtp(black_box(&a), &IlutOpts::new(k, tau, lu_its)))
+    });
+    g.finish();
+}
+
+fn bench_ordering_ablation(c: &mut Criterion) {
+    let a = workload();
+    let tau = 1e-2;
+    let k = 16;
+    let mut g = c.benchmark_group("ablation_colamd");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("natural", OrderingMode::Natural),
+        ("first_iter", OrderingMode::FirstIteration),
+        ("every_iter", OrderingMode::EveryIteration),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| lu_crtp(black_box(&a), &LuCrtpOpts::new(k, tau).with_ordering(mode)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_l_formation_ablation(c: &mut Criterion) {
+    let a = workload();
+    let tau = 1e-2;
+    let k = 16;
+    let mut g = c.benchmark_group("ablation_l_formation");
+    g.sample_size(10);
+    for (name, lf) in [("direct", LFormation::Direct), ("q_based", LFormation::QBased)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut o = LuCrtpOpts::new(k, tau);
+                o.l_formation = lf;
+                lu_crtp(black_box(&a), &o)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_drop_strategy_ablation(c: &mut Criterion) {
+    let a = workload();
+    let tau = 1e-2;
+    let k = 16;
+    let lu_its = lu_crtp(&a, &LuCrtpOpts::new(k, tau)).iterations.max(1);
+    let mut g = c.benchmark_group("ablation_ilut_strategy");
+    g.sample_size(10);
+    for (name, strat) in [
+        ("fixed_mu", DropStrategy::Fixed),
+        ("aggressive", DropStrategy::Aggressive),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut o = IlutOpts::new(k, tau, lu_its);
+                o.strategy = strat;
+                ilut_crtp(black_box(&a), &o)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_methods,
+    bench_ordering_ablation,
+    bench_l_formation_ablation,
+    bench_drop_strategy_ablation
+);
+criterion_main!(benches);

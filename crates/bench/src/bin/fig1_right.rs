@@ -1,0 +1,48 @@
+//! Fig. 1 (right): fill-in progression of LU_CRTP, iteration by
+//! iteration, for matrices M2'-M5' (the y-axis is
+//! `nnz(A^(i)) / #rows(A^(i))`, as in the paper).
+//!
+//! ```sh
+//! cargo run -p lra-bench --release --bin fig1_right [-- --quick]
+//! ```
+
+use lra_bench::BenchConfig;
+use lra_core::{lu_crtp, LuCrtpOpts};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let par = cfg.par();
+    let tau = if cfg.quick { 1e-2 } else { 1e-3 };
+    println!("FIG 1 (right) — fill-in per LU_CRTP iteration (tau={tau:.0e})");
+    let plans = [
+        (lra_matgen::m2(cfg.scale), 32usize),
+        (lra_matgen::m3(cfg.scale), 32),
+        (lra_matgen::m4(cfg.scale), 64),
+        (lra_matgen::m5(cfg.scale), 64),
+    ];
+    let n_take = if cfg.quick { 2 } else { 4 };
+    for (tm, k) in plans.into_iter().take(n_take) {
+        let r = lu_crtp(&tm.a, &LuCrtpOpts::new(k, tau).with_par(par));
+        print!(
+            "{} (k={k}, initial nnz/row {:.1}): ",
+            tm.label,
+            tm.a.nnz_per_row()
+        );
+        let series: Vec<String> = r
+            .trace
+            .iter()
+            .map(|t| format!("{:.1}", t.schur_nnz_per_row))
+            .collect();
+        println!("[{}]", series.join(", "));
+        println!(
+            "   converged={} rank={} iterations={} peak nnz/row={:.1}",
+            r.converged,
+            r.rank,
+            r.iterations,
+            r.trace
+                .iter()
+                .map(|t| t.schur_nnz_per_row)
+                .fold(0.0f64, f64::max)
+        );
+    }
+}

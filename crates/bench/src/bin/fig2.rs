@@ -1,0 +1,24 @@
+//! Fig. 2: runtime vs. approximation quality for M3' and M4', with the
+//! minimum rank required (TSVD, behind `--tsvd`) and the approximated
+//! minimum rank from a tight RandQB_EI p=2 run.
+//!
+//! ```sh
+//! cargo run -p lra-bench --release --bin fig2 [-- --quick --tsvd]
+//! ```
+
+use lra_bench::{figures::run_accuracy_vs_cost, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("FIG 2 — runtime vs. approximation quality (M3', M4')");
+    let taus: Vec<f64> = if cfg.quick {
+        vec![1e-1, 1e-2]
+    } else {
+        vec![1e-1, 3e-2, 1e-2, 3e-3, 1e-3]
+    };
+    let matrices = vec![
+        (lra_matgen::m3(cfg.scale), 32usize),
+        (lra_matgen::m4(cfg.scale), 64),
+    ];
+    run_accuracy_vs_cost(matrices, &taus, &cfg);
+}

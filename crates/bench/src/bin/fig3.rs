@@ -1,0 +1,24 @@
+//! Fig. 3: runtime vs. approximation quality for M5', with the
+//! x-range extended into the deep-accuracy tail (the regime where the
+//! paper observes ranks above 40% of n and LU_CRTP's fill-in makes it
+//! uncompetitive). The TSVD reference is skipped, as in the paper
+//! ("evaluating the minimum rank required ... was too time consuming")
+//! unless `--tsvd` is forced.
+//!
+//! ```sh
+//! cargo run -p lra-bench --release --bin fig3 [-- --quick]
+//! ```
+
+use lra_bench::{figures::run_accuracy_vs_cost, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("FIG 3 — runtime vs. approximation quality, extended range (M5')");
+    let taus: Vec<f64> = if cfg.quick {
+        vec![1e-1, 1e-2]
+    } else {
+        vec![1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4]
+    };
+    let matrices = vec![(lra_matgen::m5(cfg.scale), 64usize)];
+    run_accuracy_vs_cost(matrices, &taus, &cfg);
+}

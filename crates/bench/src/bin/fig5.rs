@@ -1,0 +1,86 @@
+//! Fig. 5: runtime breakdown of the computational kernels in LU_CRTP
+//! and ILUT_CRTP for matrix M2' and tau = 1e-3, across block sizes `k`
+//! and worker counts `np`.
+//!
+//! As in Fig. 4, the per-kernel times at each `np` come from the
+//! `lra-par` cost recorder (per-kernel label scopes + LPT makespans),
+//! so the `np` axis extends beyond the host's core count. Kernels
+//! mirror the paper's: column QR_TP, panel (sparse) QR, row QR_TP,
+//! permutations/splitting, the `L21` solve, and the Schur complement
+//! update.
+//!
+//! ```sh
+//! cargo run -p lra-bench --release --bin fig5 [-- --quick]
+//! ```
+
+use lra_bench::BenchConfig;
+use lra_core::{ilut_crtp, lu_crtp, IlutOpts, LuCrtpOpts, Parallelism};
+use lra_par::record;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let tau = if cfg.quick { 1e-2 } else { 1e-3 };
+    let tm = lra_matgen::m2(cfg.scale);
+    let a = &tm.a;
+    let ks: Vec<usize> = if cfg.quick {
+        vec![32]
+    } else {
+        vec![16, 32, 64]
+    };
+    let nps = [1usize, 4, 16, 64, 256];
+    println!(
+        "FIG 5 — kernel breakdown, LU_CRTP vs ILUT_CRTP on {} (tau={tau:.0e})",
+        tm.label
+    );
+
+    for &k in &ks {
+        let par = Parallelism::new(1 << 20);
+        // LU_CRTP instrumented run.
+        record::start();
+        let lu = lu_crtp(a, &LuCrtpOpts::new(k, tau).with_par(par));
+        let p_lu = record::finish();
+        // ILUT_CRTP instrumented run (same parameters, u from LU).
+        record::start();
+        let il = ilut_crtp(a, &{
+            let mut o = IlutOpts::new(k, tau, lu.iterations.max(1));
+            o.base.par = par;
+            o
+        });
+        let p_il = record::finish();
+
+        for (name, profile, res) in [("LU_CRTP", &p_lu, &lu), ("ILUT_CRTP", &p_il, &il)] {
+            println!(
+                "\n--- {name}, k = {k} (its {}, rank {}, factor nnz {}) ---",
+                res.iterations,
+                res.rank,
+                res.factor_nnz()
+            );
+            // Collect the union of labels at np=1, sorted by cost.
+            let mut base = profile.simulated_by_label(1);
+            base.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            print!("{:<14}", "kernel \\ np");
+            for np in nps {
+                print!(" {np:>9}");
+            }
+            println!();
+            for (label, _) in base.iter().take(8) {
+                print!("{label:<14}");
+                for np in nps {
+                    let by = profile.simulated_by_label(np);
+                    let v = by
+                        .iter()
+                        .find(|(l, _)| l == label)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(0.0);
+                    print!(" {v:>9.4}");
+                }
+                println!();
+            }
+            print!("{:<14}", "TOTAL");
+            for np in nps {
+                print!(" {:>9.4}", profile.simulated_time(np));
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig. 6: runtime breakdown of the computational kernels in RandQB_EI
+//! for matrix M2' and tau = 1e-3, across block sizes `k`, power
+//! parameters p in {0, 2} and worker counts `np` (simulated from
+//! recorded chunk costs, as in Figs. 4-5). Kernels: the sketch
+//! `A Omega` + correction, orthonormalization, power iterations, and
+//! the `B = Q^T A` update.
+//!
+//! ```sh
+//! cargo run -p lra-bench --release --bin fig6 [-- --quick]
+//! ```
+
+use lra_bench::BenchConfig;
+use lra_core::{rand_qb_ei, Parallelism, QbOpts};
+use lra_par::record;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let tau = if cfg.quick { 1e-2 } else { 1e-3 };
+    let tm = lra_matgen::m2(cfg.scale);
+    let a = &tm.a;
+    let ks: Vec<usize> = if cfg.quick {
+        vec![32]
+    } else {
+        vec![16, 32, 64]
+    };
+    let nps = [1usize, 4, 16, 64, 256];
+    println!(
+        "FIG 6 — kernel breakdown, RandQB_EI on {} (tau={tau:.0e})",
+        tm.label
+    );
+    for &k in &ks {
+        for p in [0usize, 2] {
+            let par = Parallelism::new(1 << 20);
+            record::start();
+            let res = rand_qb_ei(a, &QbOpts::new(k, tau).with_power(p).with_par(par));
+            let profile = record::finish();
+            let (its, rank) = res
+                .as_ref()
+                .map(|r| (r.iterations, r.rank))
+                .unwrap_or((0, 0));
+            println!("\n--- RandQB_EI p={p}, k={k} (its {its}, rank {rank}) ---");
+            let mut base = profile.simulated_by_label(1);
+            base.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            print!("{:<14}", "kernel \\ np");
+            for np in nps {
+                print!(" {np:>9}");
+            }
+            println!();
+            for (label, _) in base.iter().take(6) {
+                print!("{label:<14}");
+                for np in nps {
+                    let by = profile.simulated_by_label(np);
+                    let v = by
+                        .iter()
+                        .find(|(l, _)| l == label)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(0.0);
+                    print!(" {v:>9.4}");
+                }
+                println!();
+            }
+            print!("{:<14}", "TOTAL");
+            for np in nps {
+                print!(" {:>9.4}", profile.simulated_time(np));
+            }
+            println!();
+        }
+    }
+}

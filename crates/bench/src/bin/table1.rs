@@ -1,0 +1,33 @@
+//! Table I: the test matrices. Prints label, generator name, size, nnz
+//! and problem family for the laptop-scale analogues M1'-M6'.
+//!
+//! ```sh
+//! cargo run -p lra-bench --release --bin table1 [-- --large --scale N]
+//! ```
+
+use lra_bench::BenchConfig;
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("TABLE I — test matrices (synthetic analogues; see DESIGN.md)");
+    println!(
+        "{:<6} {:<20} {:>9} {:>10} {:>9}  description",
+        "label", "generator", "size", "nnz", "nnz/row"
+    );
+    lra_bench::rule(78);
+    let mut mats = lra_matgen::table1_matrices(cfg.scale);
+    if cfg.large {
+        mats.push(lra_matgen::m6(cfg.scale));
+    }
+    for m in &mats {
+        println!(
+            "{:<6} {:<20} {:>9} {:>10} {:>9.1}  {}",
+            m.label,
+            m.name,
+            m.a.rows(),
+            m.a.nnz(),
+            m.a.nnz_per_row(),
+            m.description
+        );
+    }
+}

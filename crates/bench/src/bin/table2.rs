@@ -1,0 +1,129 @@
+//! Table II: runtime per correct digit.
+//!
+//! For each test matrix and tolerance, reports: RandUBV iterations;
+//! RandQB_EI iterations and runtime for p in {0, 1, 2}; LU_CRTP
+//! iterations and runtime; ILUT_CRTP runtime, the nnz ratio
+//! `nnz(LU factors) / nnz(ILUT factors)` and the threshold `mu` chosen
+//! by eq. 24 — the same columns as the paper's Table II.
+//!
+//! ```sh
+//! cargo run -p lra-bench --release --bin table2 [-- --quick --large --np N]
+//! ```
+
+use lra_bench::{fmt_s, timed, BenchConfig};
+use lra_core::{
+    ilut_crtp, lu_crtp, rand_qb_ei, rand_ubv, IlutOpts, LuCrtpOpts, QbOpts, UbvOpts,
+};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let par = cfg.par();
+    let np = cfg.max_np;
+
+    // Per-matrix (k, tolerance grid), mirroring the paper's per-matrix
+    // best (k, np) presets scaled to this machine.
+    let mut plans: Vec<(lra_matgen::TestMatrix, usize, Vec<f64>)> = vec![
+        (lra_matgen::m1(cfg.scale), 32, vec![1e-1, 1e-2, 1e-3]),
+        (lra_matgen::m2(cfg.scale), 32, vec![1e-1, 1e-2, 1e-3, 1e-4]),
+        (lra_matgen::m3(cfg.scale), 32, vec![1e-1, 1e-2, 1e-3]),
+        (lra_matgen::m4(cfg.scale), 64, vec![1e-1, 1e-2, 1e-3]),
+        (lra_matgen::m5(cfg.scale), 64, vec![1e-1, 1e-2, 1e-3, 1e-4]),
+    ];
+    if cfg.large {
+        plans.push((lra_matgen::m6(cfg.scale), 64, vec![1e-3, 1e-4]));
+    }
+    if cfg.quick {
+        plans.truncate(2);
+        for p in &mut plans {
+            p.2.truncate(2);
+        }
+    }
+
+    println!("TABLE II — runtime per correct digit (np = {np})");
+    println!(
+        "{:<5} {:>6} | {:>7} | {:>5} {:>8} | {:>5} {:>8} | {:>5} {:>8} | {:>4} | {:>5} {:>8} | {:>8} {:>8} {:>9}",
+        "mat", "tau", "its_ubv", "its_0", "time_0", "its_1", "time_1", "its_2", "time_2", "k",
+        "its", "time_lu", "time_il", "rat_nnz", "mu"
+    );
+    lra_bench::rule(130);
+
+    for (tm, k, taus) in &plans {
+        let a = &tm.a;
+        for &tau in taus {
+            // RandUBV (sequential in the paper; iterations only).
+            let ubv = rand_ubv(a, &{
+                let mut o = UbvOpts::new(*k, tau);
+                o.par = par;
+                o
+            });
+            let its_ubv = if ubv.converged {
+                ubv.iterations.to_string()
+            } else {
+                "-".to_string()
+            };
+
+            // RandQB_EI for p in {0, 1, 2}.
+            let mut qb_cols: Vec<(String, String)> = Vec::new();
+            for p in 0..=2usize {
+                let (res, t) = timed(|| {
+                    rand_qb_ei(a, &QbOpts::new(*k, tau).with_power(p).with_par(par))
+                });
+                match res {
+                    Ok(r) if r.converged => {
+                        qb_cols.push((r.iterations.to_string(), fmt_s(t)));
+                    }
+                    _ => qb_cols.push(("-".into(), "-".into())),
+                }
+            }
+
+            // LU_CRTP.
+            let (lu, t_lu) = timed(|| lu_crtp(a, &LuCrtpOpts::new(*k, tau).with_par(par)));
+            let (its_lu, time_lu) = if lu.converged {
+                (lu.iterations.to_string(), fmt_s(t_lu))
+            } else {
+                ("-".into(), "-".into())
+            };
+
+            // ILUT_CRTP with u = LU_CRTP's iteration count (the paper's
+            // protocol) and the same (k, np).
+            let (time_il, rat, mu) = if lu.converged {
+                let (il, t_il) = timed(|| {
+                    ilut_crtp(a, &{
+                        let mut o = IlutOpts::new(*k, tau, lu.iterations.max(1));
+                        o.base.par = par;
+                        o
+                    })
+                });
+                if il.converged {
+                    let ratio = lu.factor_nnz() as f64 / il.factor_nnz().max(1) as f64;
+                    let mu = il.threshold.as_ref().map(|t| t.mu).unwrap_or(0.0);
+                    (fmt_s(t_il), format!("{ratio:.1}"), format!("{mu:.1e}"))
+                } else {
+                    ("-".into(), "-".into(), "-".into())
+                }
+            } else {
+                ("-".into(), "-".into(), "-".into())
+            };
+
+            println!(
+                "{:<5} {:>6.0e} | {:>7} | {:>5} {:>8} | {:>5} {:>8} | {:>5} {:>8} | {:>4} | {:>5} {:>8} | {:>8} {:>8} {:>9}",
+                tm.label,
+                tau,
+                its_ubv,
+                qb_cols[0].0,
+                qb_cols[0].1,
+                qb_cols[1].0,
+                qb_cols[1].1,
+                qb_cols[2].0,
+                qb_cols[2].1,
+                k,
+                its_lu,
+                time_lu,
+                time_il,
+                rat,
+                mu
+            );
+        }
+        lra_bench::rule(130);
+    }
+}

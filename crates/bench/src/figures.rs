@@ -1,0 +1,109 @@
+//! Shared figure drivers (used by the `fig2` and `fig3` binaries).
+
+use crate::{fmt_s, timed, BenchConfig};
+use lra_core::{ilut_crtp, lu_crtp, rand_qb_ei, IlutOpts, LuCrtpOpts, QbOpts};
+use lra_dense::{min_rank_for_tolerance, singular_values};
+
+/// Runtime vs. approximation quality for a set of matrices — the common
+/// engine of Figs. 2 and 3. For each tolerance it reports the exact
+/// minimum rank (TSVD, when `cfg.tsvd`), the approximated minimum rank
+/// (from one tight RandQB_EI p=2 run, the paper's asterisk series), and
+/// runtime/rank for RandQB_EI p∈{1,2}, LU_CRTP and ILUT_CRTP.
+pub fn run_accuracy_vs_cost(
+    matrices: Vec<(lra_matgen::TestMatrix, usize)>,
+    taus: &[f64],
+    cfg: &BenchConfig,
+) {
+    let par = cfg.par();
+    for (tm, k) in matrices {
+        let a = &tm.a;
+        println!(
+            "\n=== {} ({}x{}, nnz {}) k={k} ===",
+            tm.label,
+            a.rows(),
+            a.cols(),
+            a.nnz()
+        );
+        // Exact TSVD reference only where affordable (the paper also
+        // skips it "due to the prohibitive computational cost" for M5).
+        const TSVD_SIZE_CAP: usize = 6000;
+        let sv = if cfg.tsvd && a.rows().max(a.cols()) <= TSVD_SIZE_CAP {
+            println!("computing TSVD reference (dense SVD)...");
+            Some(singular_values(&a.to_dense()))
+        } else {
+            if cfg.tsvd {
+                println!(
+                    "(skipping exact TSVD: size {} above cap {TSVD_SIZE_CAP}; using the \
+                     RandQB_EI-approximated minimum rank, as the paper does for M5)",
+                    a.rows().max(a.cols())
+                );
+            }
+            None
+        };
+        let tight_tau = taus
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(lra_core::QB_INDICATOR_FLOOR * 1.01);
+        let tight = rand_qb_ei(a, &QbOpts::new(k, tight_tau).with_power(2).with_par(par))
+            .expect("tau above floor");
+        let approx_min_rank = |tau: f64| -> Option<usize> {
+            tight
+                .indicator_history
+                .iter()
+                .position(|&e| e < tau * tight.a_norm_f)
+                .map(|i| (i + 1) * k)
+        };
+
+        println!(
+            "{:>8} | {:>8} {:>9} | {:>15} {:>15} {:>15} {:>15}",
+            "tau", "minrank", "~minrank", "QB p=1", "QB p=2", "LU_CRTP", "ILUT_CRTP"
+        );
+        for &tau in taus {
+            let min_rank = sv
+                .as_ref()
+                .map(|s| min_rank_for_tolerance(s, tau).to_string())
+                .unwrap_or_else(|| "-".into());
+            let amr = approx_min_rank(tau)
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "-".into());
+            let (qb1, t_qb1) =
+                timed(|| rand_qb_ei(a, &QbOpts::new(k, tau).with_power(1).with_par(par)));
+            let (qb2, t_qb2) =
+                timed(|| rand_qb_ei(a, &QbOpts::new(k, tau).with_power(2).with_par(par)));
+            let (lu, t_lu) = timed(|| lu_crtp(a, &LuCrtpOpts::new(k, tau).with_par(par)));
+            let (il, t_il) = timed(|| {
+                ilut_crtp(a, &{
+                    let mut o = IlutOpts::new(k, tau, lu.iterations.max(1));
+                    o.base.par = par;
+                    o
+                })
+            });
+            let cell = |ok: bool, t: f64, rank: usize| {
+                if ok {
+                    format!("{:>7}s r={rank:<5}", fmt_s(t))
+                } else {
+                    format!("{:>14}", "-")
+                }
+            };
+            println!(
+                "{:>8.0e} | {:>8} {:>9} | {} {} {} {}",
+                tau,
+                min_rank,
+                amr,
+                cell(
+                    qb1.as_ref().map(|r| r.converged).unwrap_or(false),
+                    t_qb1,
+                    qb1.as_ref().map(|r| r.rank).unwrap_or(0)
+                ),
+                cell(
+                    qb2.as_ref().map(|r| r.converged).unwrap_or(false),
+                    t_qb2,
+                    qb2.as_ref().map(|r| r.rank).unwrap_or(0)
+                ),
+                cell(lu.converged, t_lu, lu.rank),
+                cell(il.converged, t_il, il.rank),
+            );
+        }
+    }
+}

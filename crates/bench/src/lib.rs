@@ -1,0 +1,134 @@
+//! Shared helpers for the benchmark binaries that regenerate the
+//! paper's tables and figures (see DESIGN.md for the per-experiment
+//! index and EXPERIMENTS.md for recorded outputs).
+
+use lra_par::Parallelism;
+use std::time::Instant;
+
+pub mod figures;
+
+/// Command-line configuration shared by all benchmark binaries.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Linear size multiplier for the preset matrices.
+    pub scale: usize,
+    /// Include the large M6' experiment.
+    pub large: bool,
+    /// Reduced tolerance grid / iteration counts for smoke runs.
+    pub quick: bool,
+    /// Worker cap (defaults to all hardware threads).
+    pub max_np: usize,
+    /// Compute the exact TSVD reference where requested (slow).
+    pub tsvd: bool,
+}
+
+impl BenchConfig {
+    /// Parse from `std::env::args` (flags: `--scale N`, `--large`,
+    /// `--quick`, `--np N`, `--tsvd`).
+    pub fn from_args() -> Self {
+        let mut cfg = BenchConfig {
+            scale: 1,
+            large: false,
+            quick: false,
+            max_np: lra_par::available_parallelism(),
+            tsvd: false,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    cfg.scale = args[i].parse().expect("--scale N");
+                }
+                "--np" => {
+                    i += 1;
+                    cfg.max_np = args[i].parse().expect("--np N");
+                }
+                "--large" => cfg.large = true,
+                "--quick" => cfg.quick = true,
+                "--tsvd" => cfg.tsvd = true,
+                other => panic!("unknown flag {other}"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+
+    /// Full parallelism under the configured cap.
+    pub fn par(&self) -> Parallelism {
+        Parallelism::new(self.max_np)
+    }
+
+    /// Doubling `np` sweep `1, 2, 4, ..., max_np`.
+    pub fn np_sweep(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        let mut np = 1;
+        while np <= self.max_np {
+            v.push(np);
+            np *= 2;
+        }
+        if *v.last().unwrap() != self.max_np {
+            v.push(self.max_np);
+        }
+        v
+    }
+}
+
+/// Wall-clock a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64())
+}
+
+/// Numerical rank of a matrix from its singular values:
+/// `#{ i : s_i > max(m,n) * eps * s_0 }`.
+pub fn numerical_rank(s: &[f64], m: usize, n: usize) -> usize {
+    if s.is_empty() || s[0] == 0.0 {
+        return 0;
+    }
+    let thresh = m.max(n) as f64 * f64::EPSILON * s[0];
+    s.iter().take_while(|&&x| x > thresh).count()
+}
+
+/// Print a horizontal rule sized to a header line.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format seconds compactly.
+pub fn fmt_s(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 10.0 {
+        format!("{s:.3}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numerical_rank_counts_above_threshold() {
+        let s = [1.0, 0.5, 1e-20];
+        assert_eq!(numerical_rank(&s, 10, 10), 2);
+        assert_eq!(numerical_rank(&[], 3, 3), 0);
+        assert_eq!(numerical_rank(&[0.0], 3, 3), 0);
+    }
+
+    #[test]
+    fn np_sweep_doubles() {
+        let cfg = BenchConfig {
+            scale: 1,
+            large: false,
+            quick: false,
+            max_np: 6,
+            tsvd: false,
+        };
+        assert_eq!(cfg.np_sweep(), vec![1, 2, 4, 6]);
+    }
+}

@@ -1,0 +1,415 @@
+//! Shared-memory SPMD runtime: the MPI substitute.
+//!
+//! The paper's parallel algorithms are written against MPI ranks and
+//! collectives (broadcast, allgather, tree reductions for tournament
+//! pivoting). This crate reproduces that model with one OS thread per
+//! rank and typed point-to-point channels, so the Rust ports keep the
+//! same SPMD structure — in particular the `log2(P)` global reduction
+//! stages whose cost causes the strong-scaling knees in Fig. 4.
+//!
+//! Messages are matched by `(source, tag)` with FIFO order per pair,
+//! like MPI. Collectives are built from point-to-point messages over a
+//! binomial tree; all ranks must call collectives in the same program
+//! order (the usual SPMD contract).
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::RefCell;
+
+type Payload = Box<dyn Any + Send>;
+
+struct Envelope {
+    src: usize,
+    tag: u64,
+    payload: Payload,
+}
+
+/// Per-rank communication context handed to the SPMD closure.
+pub struct Ctx {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    pending: RefCell<Vec<Envelope>>,
+}
+
+/// Internal tag namespace for collectives (top bit set so user tags in
+/// `0 .. 2^63` never collide).
+const COLL: u64 = 1 << 63;
+
+impl Ctx {
+    /// This rank's id in `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `msg` to rank `dst` with a user `tag` (`tag < 2^63`).
+    pub fn send<M: Send + 'static>(&self, dst: usize, tag: u64, msg: M) {
+        assert!(tag < COLL, "user tags must be < 2^63");
+        self.send_raw(dst, tag, msg);
+    }
+
+    fn send_raw<M: Send + 'static>(&self, dst: usize, tag: u64, msg: M) {
+        assert!(dst < self.size, "send to invalid rank {dst}");
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(msg),
+            })
+            .expect("receiver dropped: peer rank exited early");
+    }
+
+    /// Blocking receive of a message from `src` with `tag`. Messages of
+    /// other `(src, tag)` pairs arriving in between are buffered.
+    /// Panics if the payload type does not match `M`.
+    pub fn recv<M: Send + 'static>(&self, src: usize, tag: u64) -> M {
+        assert!(tag < COLL, "user tags must be < 2^63");
+        self.recv_raw(src, tag)
+    }
+
+    fn recv_raw<M: Send + 'static>(&self, src: usize, tag: u64) -> M {
+        // Check buffered messages first (FIFO: scan from the front).
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+                let env = pending.remove(pos);
+                return Self::downcast(env);
+            }
+        }
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .expect("all senders dropped while waiting for a message");
+            if env.src == src && env.tag == tag {
+                return Self::downcast(env);
+            }
+            self.pending.borrow_mut().push(env);
+        }
+    }
+
+    fn downcast<M: Send + 'static>(env: Envelope) -> M {
+        *env.payload.downcast::<M>().unwrap_or_else(|_| {
+            panic!(
+                "message type mismatch for (src={}, tag={})",
+                env.src, env.tag
+            )
+        })
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        let _ = self.allreduce(0u8, |_, _| 0u8);
+    }
+
+    /// Broadcast `value` from `root` to every rank; each rank returns
+    /// the broadcast value. Non-root ranks pass their own (ignored)
+    /// `value`. Binomial tree, `log2(P)` rounds.
+    pub fn broadcast<M: Clone + Send + 'static>(&self, root: usize, value: M) -> M {
+        let size = self.size;
+        if size == 1 {
+            return value;
+        }
+        let vrank = (self.rank + size - root) % size;
+        let v = if vrank == 0 {
+            value
+        } else {
+            self.recv_raw::<M>(self.bcast_parent(root), COLL | 1)
+        };
+        self.forward_bcast(root, v)
+    }
+
+    /// Gather one value from every rank onto all ranks
+    /// (`out[r]` = rank `r`'s contribution). Gather-to-0 then broadcast.
+    pub fn allgather<M: Clone + Send + 'static>(&self, mine: M) -> Vec<M> {
+        if self.size == 1 {
+            return vec![mine];
+        }
+        if self.rank == 0 {
+            let mut all = Vec::with_capacity(self.size);
+            all.push(mine);
+            for src in 1..self.size {
+                all.push(self.recv_raw::<M>(src, COLL | 2));
+            }
+            self.broadcast(0, all)
+        } else {
+            self.send_raw(0, COLL | 2, mine);
+            self.broadcast(0, Vec::<M>::new())
+        }
+    }
+
+    /// Binomial-tree reduction to rank `root`; returns `Some(result)` on
+    /// the root, `None` elsewhere. `op(a, b)` must be associative; the
+    /// combination tree is deterministic for a fixed `size`.
+    pub fn reduce<M, F>(&self, root: usize, mine: M, op: F) -> Option<M>
+    where
+        M: Send + 'static,
+        F: Fn(M, M) -> M,
+    {
+        let size = self.size;
+        let vrank = (self.rank + size - root) % size;
+        let mut acc = mine;
+        let mut mask = 1usize;
+        while mask < size {
+            if vrank & mask == 0 {
+                let vpeer = vrank | mask;
+                if vpeer < size {
+                    let peer = (vpeer + root) % size;
+                    let other = self.recv_raw::<M>(peer, COLL | 3);
+                    acc = op(acc, other);
+                }
+            } else {
+                let vparent = vrank & !mask;
+                let parent = (vparent + root) % size;
+                self.send_raw(parent, COLL | 3, acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Reduction whose result is delivered to every rank.
+    pub fn allreduce<M, F>(&self, mine: M, op: F) -> M
+    where
+        M: Clone + Send + 'static,
+        F: Fn(M, M) -> M,
+    {
+        match self.reduce(0, mine, op) {
+            Some(v) => self.broadcast(0, v),
+            None => {
+                // Participate in the broadcast with a placeholder that
+                // is never read (non-root passes its own value slot).
+                let v = self.recv_raw::<M>(self.bcast_parent(0), COLL | 1);
+                self.forward_bcast(0, v)
+            }
+        }
+    }
+
+    fn bcast_parent(&self, root: usize) -> usize {
+        let size = self.size;
+        let vrank = (self.rank + size - root) % size;
+        debug_assert!(vrank != 0);
+        let lowest = vrank & vrank.wrapping_neg();
+        let vparent = vrank & !lowest;
+        (vparent + root) % size
+    }
+
+    fn forward_bcast<M: Clone + Send + 'static>(&self, root: usize, v: M) -> M {
+        let size = self.size;
+        let vrank = (self.rank + size - root) % size;
+        let lowest = if vrank == 0 {
+            size.next_power_of_two()
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
+        let mut children = Vec::new();
+        let mut mask = 1usize;
+        while mask < size {
+            if mask < lowest {
+                let child = vrank | mask;
+                if child != vrank && child < size {
+                    children.push(child);
+                }
+            }
+            mask <<= 1;
+        }
+        for &child in children.iter().rev() {
+            let dst = (child + root) % size;
+            self.send_raw(dst, COLL | 1, v.clone());
+        }
+        v
+    }
+}
+
+/// Run `f` as an SPMD program on `np` ranks (threads). Returns the
+/// per-rank results in rank order.
+pub fn run<T, F>(np: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Ctx) -> T + Sync,
+{
+    let np = np.max(1);
+    let mut senders = Vec::with_capacity(np);
+    let mut receivers = Vec::with_capacity(np);
+    for _ in 0..np {
+        let (s, r) = unbounded::<Envelope>();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let mut results: Vec<Option<T>> = Vec::with_capacity(np);
+    results.resize_with(np, || None);
+    {
+        let results_ptr = SendPtr(results.as_mut_ptr());
+        let senders_ref = &senders;
+        let f_ref = &f;
+        crossbeam_utils::thread::scope(|scope| {
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                scope.spawn(move |_| {
+                    let ctx = Ctx {
+                        rank,
+                        size: np,
+                        senders: senders_ref.clone(),
+                        inbox,
+                        pending: RefCell::new(Vec::new()),
+                    };
+                    let out = f_ref(&ctx);
+                    // SAFETY: each rank writes its own slot exactly once.
+                    unsafe { *results_ptr.get().add(rank) = Some(out) };
+                });
+            }
+        })
+        .expect("SPMD rank panicked");
+    }
+    results.into_iter().map(|r| r.expect("rank result")).collect()
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_send_recv() {
+        for np in [1usize, 2, 3, 5, 8] {
+            let out = run(np, |ctx| {
+                let next = (ctx.rank() + 1) % ctx.size();
+                let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                ctx.send(next, 7, ctx.rank());
+                ctx.recv::<usize>(prev, 7)
+            });
+            for (r, v) in out.iter().enumerate() {
+                let prev = (r + np - 1) % np;
+                assert_eq!(*v, prev, "np={np}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags_buffer() {
+        let out = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 10, "first".to_string());
+                ctx.send(1, 20, "second".to_string());
+                0
+            } else {
+                // Receive in reverse tag order.
+                let b = ctx.recv::<String>(0, 20);
+                let a = ctx.recv::<String>(0, 10);
+                assert_eq!(a, "first");
+                assert_eq!(b, "second");
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn broadcast_all_sizes_and_roots() {
+        for np in [1usize, 2, 3, 4, 6, 7, 8] {
+            for root in 0..np {
+                let out = run(np, |ctx| {
+                    let v = if ctx.rank() == root { 42u64 } else { 0 };
+                    ctx.broadcast(root, v)
+                });
+                assert!(out.iter().all(|&v| v == 42), "np={np} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        for np in [1usize, 3, 6] {
+            let out = run(np, |ctx| ctx.allgather(ctx.rank() * 10));
+            for per_rank in out {
+                let expect: Vec<usize> = (0..np).map(|r| r * 10).collect();
+                assert_eq!(per_rank, expect, "np={np}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums() {
+        for np in [1usize, 2, 5, 8] {
+            let out = run(np, |ctx| ctx.reduce(0, ctx.rank() as u64 + 1, |a, b| a + b));
+            let expect: u64 = (1..=np as u64).sum();
+            assert_eq!(out[0], Some(expect), "np={np}");
+            for v in &out[1..] {
+                assert_eq!(*v, None);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        for np in [1usize, 4, 7] {
+            let out = run(np, |ctx| ctx.allreduce(ctx.rank(), |a, b| a.max(b)));
+            assert!(out.iter().all(|&v| v == np - 1), "np={np}");
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let out = run(6, |ctx| {
+            for _ in 0..10 {
+                ctx.barrier();
+            }
+            ctx.rank()
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn collectives_interleaved_with_p2p() {
+        let out = run(4, |ctx| {
+            let r = ctx.rank();
+            // P2P exchange between 0 and 3 straddling a collective.
+            if r == 0 {
+                ctx.send(3, 99, 1234u32);
+            }
+            let sum = ctx.allreduce(1usize, |a, b| a + b);
+            assert_eq!(sum, 4);
+            if r == 3 {
+                assert_eq!(ctx.recv::<u32>(0, 99), 1234);
+            }
+            ctx.barrier();
+            sum
+        });
+        assert_eq!(out, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn type_mismatch_panics() {
+        run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, 5u32);
+            } else {
+                let _ = ctx.recv::<String>(0, 1);
+            }
+        });
+    }
+}

@@ -1,0 +1,137 @@
+//! Stress and adversarial-ordering tests for the SPMD runtime.
+
+use lra_comm::run;
+
+#[test]
+fn message_storm_all_to_all() {
+    // Every rank sends 50 tagged messages to every other rank, receives
+    // in a rank-dependent shuffled order. Exercises out-of-order
+    // buffering under load.
+    let np = 6;
+    let rounds = 50u64;
+    let out = run(np, |ctx| {
+        let me = ctx.rank();
+        for dst in 0..ctx.size() {
+            if dst == me {
+                continue;
+            }
+            for t in 0..rounds {
+                ctx.send(dst, t, (me, t));
+            }
+        }
+        let mut sum = 0u64;
+        for src in 0..ctx.size() {
+            if src == me {
+                continue;
+            }
+            // Receive tags in reverse order to force buffering.
+            for t in (0..rounds).rev() {
+                let (s, tt): (usize, u64) = ctx.recv(src, t);
+                assert_eq!(s, src);
+                assert_eq!(tt, t);
+                sum += tt;
+            }
+        }
+        sum
+    });
+    let expect = (np as u64 - 1) * (0..50u64).sum::<u64>();
+    assert!(out.iter().all(|&s| s == expect));
+}
+
+#[test]
+fn large_payloads_roundtrip() {
+    let out = run(3, |ctx| {
+        let big: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+        let next = (ctx.rank() + 1) % 3;
+        let prev = (ctx.rank() + 2) % 3;
+        ctx.send(next, 1, big);
+        let got: Vec<f64> = ctx.recv(prev, 1);
+        got.len()
+    });
+    assert!(out.iter().all(|&l| l == 100_000));
+}
+
+#[test]
+fn many_sequential_collectives() {
+    // Back-to-back collectives of mixed types must not cross-match.
+    let out = run(5, |ctx| {
+        let mut acc = 0usize;
+        for round in 0..30usize {
+            let s = ctx.allreduce(round, |a, b| a + b);
+            assert_eq!(s, round * 5);
+            let b = ctx.broadcast(round % 5, if ctx.rank() == round % 5 { round } else { 0 });
+            assert_eq!(b, round);
+            let g = ctx.allgather(ctx.rank() + round);
+            assert_eq!(g.len(), 5);
+            acc += s + b + g.iter().sum::<usize>();
+        }
+        acc
+    });
+    for v in &out[1..] {
+        assert_eq!(*v, out[0]);
+    }
+}
+
+#[test]
+fn reduce_respects_deterministic_tree_order() {
+    // String concatenation is associative but not commutative; the
+    // binomial tree must combine in a fixed structure for fixed size,
+    // so all runs agree.
+    let run_once = || {
+        run(7, |ctx| {
+            ctx.reduce(0, format!("{}", ctx.rank()), |a, b| format!("({a}+{b})"))
+        })
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a[0], b[0]);
+    assert!(a[0].is_some());
+    // Every rank id appears exactly once in the reduction expression.
+    let expr = a[0].clone().unwrap();
+    for r in 0..7 {
+        assert_eq!(expr.matches(&r.to_string()).count(), 1, "{expr}");
+    }
+}
+
+#[test]
+fn non_power_of_two_sizes() {
+    for np in [3usize, 5, 6, 7, 9, 11] {
+        let out = run(np, |ctx| {
+            let s = ctx.allreduce(1usize, |a, b| a + b);
+            let g = ctx.allgather(ctx.rank());
+            let m = ctx.broadcast(np - 1, if ctx.rank() == np - 1 { 99 } else { 0 });
+            (s, g.len(), m)
+        });
+        for (s, glen, m) in out {
+            assert_eq!(s, np);
+            assert_eq!(glen, np);
+            assert_eq!(m, 99);
+        }
+    }
+}
+
+#[test]
+fn reduce_to_nonzero_roots() {
+    for root in 0..5 {
+        let out = run(5, |ctx| ctx.reduce(root, 1u32, |a, b| a + b));
+        for (r, v) in out.iter().enumerate() {
+            if r == root {
+                assert_eq!(*v, Some(5));
+            } else {
+                assert_eq!(*v, None);
+            }
+        }
+    }
+}
+
+#[test]
+fn single_rank_degenerate_cases() {
+    let out = run(1, |ctx| {
+        assert_eq!(ctx.allreduce(7usize, |a, b| a + b), 7);
+        assert_eq!(ctx.allgather(3usize), vec![3]);
+        assert_eq!(ctx.broadcast(0, "x"), "x");
+        ctx.barrier();
+        ctx.rank()
+    });
+    assert_eq!(out, vec![0]);
+}

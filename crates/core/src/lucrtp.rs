@@ -1,0 +1,765 @@
+//! Truncated LU factorization with column and row tournament pivoting
+//! (LU_CRTP, Algorithm 2) and its incomplete thresholding variant
+//! (ILUT_CRTP, Algorithm 3) — the paper's deterministic fixed-precision
+//! methods.
+//!
+//! Both run the same block iteration; ILUT_CRTP additionally drops
+//! Schur-complement entries below a threshold `mu` (eq. 24), guarded by
+//! the threshold control `phi` (eq. 22). Factors are accumulated in
+//! *original* coordinates: `L` holds original row ids and `U` original
+//! column ids, so `A ≈ L U` directly and
+//! `||P_r A P_c - L' U'||_F = ||A - L U||_F` for the permuted factors.
+
+use crate::timers::{KernelId, KernelTimers};
+use lra_dense::{lu, DenseMatrix};
+use lra_ordering::fill_reducing_order;
+use lra_par::{parallel_for, parallel_map_fold, Parallelism};
+use lra_qrtp::{tournament_columns, tournament_rows_dense, TournamentTree};
+use lra_sparse::CscMatrix;
+
+/// When to apply the fill-reducing (COLAMD + etree postorder)
+/// preprocessing — the ablation axis of Fig. 1 (left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingMode {
+    /// No reordering.
+    Natural,
+    /// Reorder the input once before the first iteration (the paper's
+    /// default, Section V).
+    FirstIteration,
+    /// Reorder the Schur complement before every iteration.
+    EveryIteration,
+}
+
+/// How `L21` is formed (Section II-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LFormation {
+    /// `L21 = Ā21 Ā11^{-1}` — exploits the sparsity of `Ā21`.
+    Direct,
+    /// `L21 = Q̄21 Q̄11^{-1}` — the stability-enhancing alternative; its
+    /// entries are bounded by the RRQR guarantees but it is dense
+    /// ("introduces additional small values", exacerbating fill-in).
+    QBased,
+}
+
+/// Why a factorization stopped before reaching the tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Breakdown {
+    /// The `k x k` pivot block was numerically singular.
+    SingularPivotBlock,
+    /// The (thresholded) Schur complement ran out of numerical rank.
+    RankExhausted,
+}
+
+/// Options for [`lu_crtp`].
+#[derive(Debug, Clone)]
+pub struct LuCrtpOpts {
+    /// Block size `k`.
+    pub k: usize,
+    /// Relative tolerance `tau` in `||A - LU||_F < tau * ||A||_F`.
+    pub tau: f64,
+    /// Fill-reducing preprocessing mode.
+    pub ordering: OrderingMode,
+    /// Tournament reduction tree shape.
+    pub tree: TournamentTree,
+    /// Worker count for all parallel kernels.
+    pub par: Parallelism,
+    /// Optional rank cap (stop once `K >= max_rank`).
+    pub max_rank: Option<usize>,
+    /// How `L21` is computed.
+    pub l_formation: LFormation,
+}
+
+impl LuCrtpOpts {
+    /// Defaults matching the paper's setup: first-iteration COLAMD,
+    /// binary tournament tree, direct `L21`, sequential.
+    pub fn new(k: usize, tau: f64) -> Self {
+        LuCrtpOpts {
+            k,
+            tau,
+            ordering: OrderingMode::FirstIteration,
+            tree: TournamentTree::Binary,
+            par: Parallelism::SEQ,
+            max_rank: None,
+            l_formation: LFormation::Direct,
+        }
+    }
+
+    /// Builder-style parallelism setter.
+    pub fn with_par(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Builder-style ordering setter.
+    pub fn with_ordering(mut self, ordering: OrderingMode) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Builder-style rank cap setter.
+    pub fn with_max_rank(mut self, max_rank: usize) -> Self {
+        self.max_rank = Some(max_rank);
+        self
+    }
+}
+
+/// Thresholding strategy for ILUT_CRTP (Section VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropStrategy {
+    /// Fixed threshold `mu` from eq. 24, with the control (22) undoing a
+    /// violating drop and disabling thresholding.
+    Fixed,
+    /// Aggressive: per iteration, sort entries below the cap and drop
+    /// the smallest while the budget (22) allows.
+    Aggressive,
+}
+
+/// Options for [`ilut_crtp`].
+#[derive(Debug, Clone)]
+pub struct IlutOpts {
+    /// The underlying LU_CRTP configuration.
+    pub base: LuCrtpOpts,
+    /// Estimated iteration count `u` in the `mu` heuristic (eq. 24).
+    pub u_estimate: usize,
+    /// Threshold control `phi` as a multiple of `tau * |R^(1)(1,1)|`
+    /// (the paper uses 1.0).
+    pub phi_factor: f64,
+    /// Drop strategy.
+    pub strategy: DropStrategy,
+}
+
+impl IlutOpts {
+    /// Paper defaults: `phi = tau * |R^(1)(1,1)|`, fixed threshold.
+    pub fn new(k: usize, tau: f64, u_estimate: usize) -> Self {
+        IlutOpts {
+            base: LuCrtpOpts::new(k, tau),
+            u_estimate: u_estimate.max(1),
+            phi_factor: 1.0,
+            strategy: DropStrategy::Fixed,
+        }
+    }
+}
+
+/// Thresholding outcome recorded by ILUT_CRTP.
+#[derive(Debug, Clone)]
+pub struct ThresholdReport {
+    /// The threshold `mu` determined by eq. 24.
+    pub mu: f64,
+    /// The control bound `phi`.
+    pub phi: f64,
+    /// Total entries dropped.
+    pub dropped: usize,
+    /// Accumulated dropped mass `sum ||T̃^(j)||_F^2`.
+    pub dropped_mass_sq: f64,
+    /// Whether the control (22) ever triggered (drop undone, `mu = 0`).
+    pub control_triggered: bool,
+}
+
+/// One iteration of the factorization trace.
+#[derive(Debug, Clone)]
+pub struct IterTrace {
+    /// Iteration number (1-based).
+    pub iteration: usize,
+    /// Accumulated rank `K` after this iteration.
+    pub rank: usize,
+    /// Error indicator `||A^(i+1)||_F` (eq. 9 / 26).
+    pub indicator: f64,
+    /// Entries in the Schur complement.
+    pub schur_nnz: usize,
+    /// `nnz / (rows*cols)` of the Schur complement — Fig. 1 fill-in.
+    pub schur_density: f64,
+    /// `nnz / rows` of the Schur complement — Fig. 1 (right) y-axis.
+    pub schur_nnz_per_row: f64,
+    /// `|diag(R^(i))|` of this iteration's panel QR — rank-revealing
+    /// estimates of singular values `sigma_{K-k+1} .. sigma_K` of `A`
+    /// (the "effective approximation" property of Section III).
+    pub r_diag: Vec<f64>,
+}
+
+/// Result of LU_CRTP / ILUT_CRTP.
+#[derive(Debug, Clone)]
+pub struct LuCrtpResult {
+    /// `m x K` lower factor in original row coordinates.
+    pub l: CscMatrix,
+    /// `K x n` upper factor in original column coordinates.
+    pub u: CscMatrix,
+    /// Original row ids selected as pivots, in factor order (the first
+    /// `K` rows of `P_r`).
+    pub pivot_rows: Vec<usize>,
+    /// Original column ids selected as pivots (the first `K` columns of
+    /// `P_c`).
+    pub pivot_cols: Vec<usize>,
+    /// Achieved rank `K`.
+    pub rank: usize,
+    /// Number of block iterations.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Early-stop cause, if any.
+    pub breakdown: Option<Breakdown>,
+    /// Final error indicator.
+    pub indicator: f64,
+    /// `||A||_F` of the input.
+    pub a_norm_f: f64,
+    /// `|R^(1)(1,1)|` — the rank-revealing estimate of `||A||_2`.
+    pub r11: f64,
+    /// Per-iteration trace (fill-in progression etc.).
+    pub trace: Vec<IterTrace>,
+    /// Kernel timers (Fig. 5 breakdown).
+    pub timers: KernelTimers,
+    /// Thresholding report (ILUT_CRTP only).
+    pub threshold: Option<ThresholdReport>,
+}
+
+impl LuCrtpResult {
+    /// Total nonzeros in both factors (the `ratio_NNZ` numerator /
+    /// denominator of Table II).
+    pub fn factor_nnz(&self) -> usize {
+        self.l.nnz() + self.u.nnz()
+    }
+
+    /// Rank-revealing singular-value estimates: `|diag(R^(i))|` of each
+    /// iteration's panel factorization, concatenated. Entry `j`
+    /// approximates `sigma_{j+1}(A)`; Grigori et al. show the ratios
+    /// stay close to one in practice ("effective approximation",
+    /// Section III of the paper), which is what makes ILUT_CRTP's
+    /// convergence argument work.
+    pub fn singular_value_estimates(&self) -> Vec<f64> {
+        self.trace.iter().flat_map(|t| t.r_diag.iter().copied()).collect()
+    }
+
+    /// Exact error `||A - L U||_F` (forms the dense residual column by
+    /// column; intended for validation on small/medium matrices).
+    pub fn exact_error(&self, a: &CscMatrix, par: Parallelism) -> f64 {
+        let m = a.rows();
+        let n = a.cols();
+        let sq = parallel_map_fold(
+            par,
+            n,
+            8,
+            0.0f64,
+            |range| {
+                let mut acc = 0.0;
+                let mut dense = vec![0.0f64; m];
+                for j in range {
+                    for x in dense.iter_mut() {
+                        *x = 0.0;
+                    }
+                    let (ri, vs) = a.col(j);
+                    for (&r, &v) in ri.iter().zip(vs) {
+                        dense[r] = v;
+                    }
+                    // Subtract L * U(:, j).
+                    let (ki, kv) = self.u.col(j);
+                    for (&kk, &uv) in ki.iter().zip(kv) {
+                        let (rows, vals) = self.l.col(kk);
+                        for (&r, &lvv) in rows.iter().zip(vals) {
+                            dense[r] -= lvv * uv;
+                        }
+                    }
+                    acc += dense.iter().map(|x| x * x).sum::<f64>();
+                }
+                acc
+            },
+            |a, b| a + b,
+        );
+        sq.sqrt()
+    }
+}
+
+/// Internal ILUT state threaded through the shared driver.
+struct IlutState {
+    cfg: IlutOpts,
+    mu: f64,
+    phi: f64,
+    mass_sq: f64,
+    dropped: usize,
+    control_triggered: bool,
+}
+
+/// LU_CRTP (Algorithm 2): deterministic fixed-precision truncated LU
+/// with column and row tournament pivoting.
+pub fn lu_crtp(a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
+    drive(a, opts, None)
+}
+
+/// ILUT_CRTP (Algorithm 3): incomplete LU_CRTP with thresholding.
+pub fn ilut_crtp(a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
+    let state = IlutState {
+        cfg: opts.clone(),
+        mu: 0.0,
+        phi: 0.0,
+        mass_sq: 0.0,
+        dropped: 0,
+        control_triggered: false,
+    };
+    drive(a, &opts.base.clone(), Some(state))
+}
+
+#[allow(clippy::too_many_lines)]
+fn drive(a: &CscMatrix, opts: &LuCrtpOpts, mut ilut: Option<IlutState>) -> LuCrtpResult {
+    let m = a.rows();
+    let n = a.cols();
+    let par = opts.par;
+    let mut timers = KernelTimers::new();
+    let a_norm_f = a.fro_norm();
+    let stop = opts.tau * a_norm_f;
+    let rank_cap = opts.max_rank.unwrap_or(usize::MAX).min(m.min(n));
+    if a_norm_f == 0.0 {
+        // The zero matrix is its own rank-0 approximation.
+        return LuCrtpResult {
+            l: CscMatrix::zeros(m, 0),
+            u: CscMatrix::zeros(0, n),
+            pivot_rows: Vec::new(),
+            pivot_cols: Vec::new(),
+            rank: 0,
+            iterations: 0,
+            converged: true,
+            breakdown: None,
+            indicator: 0.0,
+            a_norm_f,
+            r11: 0.0,
+            trace: Vec::new(),
+            timers,
+            threshold: ilut.map(|s| ThresholdReport {
+                mu: 0.0,
+                phi: 0.0,
+                dropped: s.dropped,
+                dropped_mass_sq: s.mass_sq,
+                control_triggered: s.control_triggered,
+            }),
+        };
+    }
+
+    // --- Fill-reducing preprocessing (Section V). ---
+    let initial_cols: Vec<usize> = match opts.ordering {
+        OrderingMode::Natural => (0..n).collect(),
+        OrderingMode::FirstIteration | OrderingMode::EveryIteration => {
+            timers.time(KernelId::Permute, || fill_reducing_order(a))
+        }
+    };
+    let mut s = a.select_columns(&initial_cols);
+    let mut row_map: Vec<usize> = (0..m).collect();
+    let mut col_map: Vec<usize> = initial_cols;
+
+    let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut ut_cols: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut pivot_rows_glob: Vec<usize> = Vec::new();
+    let mut pivot_cols_glob: Vec<usize> = Vec::new();
+    let mut trace: Vec<IterTrace> = Vec::new();
+    let mut rank = 0usize;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut breakdown = None;
+    let mut indicator = a_norm_f;
+    let mut r11 = 0.0f64;
+
+    loop {
+        if s.rows() == 0 || s.cols() == 0 || rank >= rank_cap {
+            if indicator >= stop {
+                breakdown = Some(Breakdown::RankExhausted);
+            }
+            break;
+        }
+        if opts.ordering == OrderingMode::EveryIteration && iterations > 0 {
+            let perm = timers.time(KernelId::Permute, || fill_reducing_order(&s));
+            s = s.select_columns(&perm);
+            col_map = perm.iter().map(|&p| col_map[p]).collect();
+        }
+        let k_want = opts.k.min(s.cols()).min(s.rows()).min(rank_cap - rank);
+
+        // Line 5: column tournament.
+        let sel = timers.time(KernelId::ColTournament, || {
+            tournament_columns(&s, None, k_want, opts.tree, par)
+        });
+        if iterations == 0 {
+            r11 = sel.r_diag.first().copied().unwrap_or(0.0).abs();
+        }
+        let k_eff = sel.selected.len();
+        if k_eff == 0 {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+
+        // Line 6: QR of the selected panel (TSQR: the row-block
+        // decomposition is what parallelizes, matching the paper's use
+        // of tall-skinny QR for the panel factorization).
+        let (qk, panel_r_diag) = timers.time(KernelId::PanelQr, || {
+            let panel = s.gather_columns_dense(&sel.selected);
+            let f = lra_dense::tsqr(&panel, par);
+            let rd: Vec<f64> = (0..k_eff.min(f.r.rows()))
+                .map(|i| f.r.get(i, i).abs())
+                .collect();
+            (f.q, rd)
+        });
+
+        // Line 7: row tournament on Q_k^T.
+        let rows = timers.time(KernelId::RowTournament, || {
+            tournament_rows_dense(&qk, k_eff, opts.tree, par)
+        });
+        if rows.len() < k_eff {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+
+        // Line 8: permute and split.
+        let (a11, a12, a21, a22, rest_rows, rest_cols) = timers.time(KernelId::Permute, || {
+            s.split_blocks(&rows, &sel.selected)
+        });
+
+        // Line 10: L21 formation.
+        let lu11 = lu(&a11);
+        if lu11.is_singular() {
+            breakdown = Some(Breakdown::SingularPivotBlock);
+            break;
+        }
+        let (x_rows, xt) = timers.time(KernelId::LSolve, || match opts.l_formation {
+            LFormation::Direct => l21_direct(&a21, &lu11, k_eff, par),
+            LFormation::QBased => l21_qbased(&qk, &rows, &rest_rows, k_eff, par),
+        });
+
+        // Line 12: Schur complement.
+        let mut s_next = timers.time(KernelId::Schur, || {
+            schur_update(&a22, &x_rows, &xt, &a12, par)
+        });
+
+        // Record factors (line 9/11), in original coordinates.
+        timers.time(KernelId::Concat, || {
+            let a12t = a12.transpose();
+            for t in 0..k_eff {
+                // U row: pivot-column entries from Ā11, trailing from Ā12.
+                let mut ucol: Vec<(usize, f64)> = Vec::new();
+                for (p, &c_loc) in sel.selected.iter().enumerate() {
+                    let v = a11.get(t, p);
+                    if v != 0.0 {
+                        ucol.push((col_map[c_loc], v));
+                    }
+                }
+                let (ci, cv) = a12t.col(t);
+                for (&j_rest, &v) in ci.iter().zip(cv) {
+                    ucol.push((col_map[rest_cols[j_rest]], v));
+                }
+                ucol.sort_unstable_by_key(|&(c, _)| c);
+                ut_cols.push(ucol);
+
+                // L column: unit at the pivot row plus L21 entries.
+                let mut lcol: Vec<(usize, f64)> = Vec::new();
+                lcol.push((row_map[rows[t]], 1.0));
+                for (xi, &r_rest) in x_rows.iter().enumerate() {
+                    let v = xt.get(t, xi);
+                    if v != 0.0 {
+                        lcol.push((row_map[rest_rows[r_rest]], v));
+                    }
+                }
+                lcol.sort_unstable_by_key(|&(r, _)| r);
+                l_cols.push(lcol);
+            }
+            pivot_rows_glob.extend(rows.iter().map(|&r| row_map[r]));
+            pivot_cols_glob.extend(sel.selected.iter().map(|&c| col_map[c]));
+        });
+
+        rank += k_eff;
+        iterations += 1;
+
+        // Line 13: error indicator (eq. 9 / 26) — evaluated before any
+        // thresholding, exactly as Algorithm 3 orders lines 7 and 8.
+        indicator = timers.time(KernelId::Indicator, || s_next.fro_norm());
+        let push_trace = |trace: &mut Vec<IterTrace>, s: &CscMatrix| {
+            trace.push(IterTrace {
+                iteration: iterations,
+                rank,
+                indicator,
+                schur_nnz: s.nnz(),
+                schur_density: s.density(),
+                schur_nnz_per_row: s.nnz_per_row(),
+                r_diag: panel_r_diag.clone(),
+            });
+        };
+        if indicator < stop {
+            converged = true;
+            push_trace(&mut trace, &s_next);
+            break;
+        }
+        if rank >= rank_cap {
+            breakdown = Some(Breakdown::RankExhausted);
+            push_trace(&mut trace, &s_next);
+            break;
+        }
+
+        // ILUT_CRTP lines 5, 8-10: determine mu/phi, drop, control.
+        if let Some(state) = ilut.as_mut() {
+            if iterations == 1 {
+                state.mu = opts.tau * r11
+                    / (state.cfg.u_estimate as f64 * (a.nnz().max(1) as f64).sqrt());
+                state.phi = state.cfg.phi_factor * opts.tau * r11;
+            }
+            if state.mu > 0.0 {
+                timers.time(KernelId::Drop, || match state.cfg.strategy {
+                    DropStrategy::Fixed => {
+                        let (dropped_mat, mass, count) = s_next.drop_below(state.mu);
+                        if (state.mass_sq + mass).sqrt() >= state.phi {
+                            // Control (22): undo, disable thresholding.
+                            state.control_triggered = true;
+                            state.mu = 0.0;
+                        } else {
+                            state.mass_sq += mass;
+                            state.dropped += count;
+                            s_next = dropped_mat;
+                        }
+                    }
+                    DropStrategy::Aggressive => {
+                        // Sort small entries, drop smallest while the
+                        // budget allows; realize via a cutoff magnitude.
+                        let budget = state.phi * state.phi - state.mass_sq;
+                        if budget > 0.0 {
+                            let mags = s_next.small_entry_magnitudes(state.phi);
+                            let mut run = 0.0;
+                            let mut cutoff = 0.0;
+                            for &v in &mags {
+                                if run + v * v >= budget {
+                                    break;
+                                }
+                                run += v * v;
+                                cutoff = v;
+                            }
+                            if cutoff > 0.0 {
+                                let thr = cutoff * (1.0 + 1e-15) + f64::MIN_POSITIVE;
+                                let (dropped_mat, mass, count) = s_next.drop_below(thr);
+                                if (state.mass_sq + mass).sqrt() < state.phi {
+                                    state.mass_sq += mass;
+                                    state.dropped += count;
+                                    s_next = dropped_mat;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        }
+
+        // Trace the Schur complement as the next iteration will see it
+        // (post-threshold for ILUT_CRTP) — the Fig. 1 fill-in metric.
+        push_trace(&mut trace, &s_next);
+
+        // Advance to the next Schur complement.
+        row_map = rest_rows.iter().map(|&r| row_map[r]).collect();
+        col_map = rest_cols.iter().map(|&c| col_map[c]).collect();
+        s = s_next;
+        if iterations > 4 * (m.min(n) / opts.k.max(1) + 2) {
+            breakdown = Some(Breakdown::RankExhausted);
+            break; // safety net against non-termination
+        }
+    }
+
+    // Assemble factors.
+    let (l, u) = timers.time(KernelId::Concat, || {
+        let l = assemble_csc(m, &l_cols);
+        let ut = assemble_csc(n, &ut_cols);
+        (l, ut.transpose())
+    });
+
+    LuCrtpResult {
+        l,
+        u,
+        pivot_rows: pivot_rows_glob,
+        pivot_cols: pivot_cols_glob,
+        rank,
+        iterations,
+        converged,
+        breakdown,
+        indicator,
+        a_norm_f,
+        r11,
+        trace,
+        timers,
+        threshold: ilut.map(|s| ThresholdReport {
+            mu: s.mu,
+            phi: s.phi,
+            dropped: s.dropped,
+            dropped_mass_sq: s.mass_sq,
+            control_triggered: s.control_triggered,
+        }),
+    }
+}
+
+fn assemble_csc(rows: usize, cols: &[Vec<(usize, f64)>]) -> CscMatrix {
+    let mut builder = lra_sparse::SparseBuilder::new(rows, cols.len());
+    for col in cols {
+        builder.push_col(col);
+    }
+    builder.finish()
+}
+
+/// `L21 = Ā21 Ā11^{-1}` exploiting the sparse rows of `Ā21`.
+/// Returns the nonzero row positions (into the trailing rows) and the
+/// dense `k x nr` matrix `X^T` (column `r` = row `x_rows[r]` of `L21`).
+fn l21_direct(
+    a21: &CscMatrix,
+    lu11: &lra_dense::LuFactor,
+    k: usize,
+    par: Parallelism,
+) -> (Vec<usize>, DenseMatrix) {
+    let a21t = a21.transpose(); // rows of Ā21 as columns
+    let x_rows: Vec<usize> = (0..a21t.cols()).filter(|&c| a21t.col_nnz(c) > 0).collect();
+    let nr = x_rows.len();
+    let mut xt = DenseMatrix::zeros(k, nr);
+    {
+        let ptr = xt.as_mut_slice().as_mut_ptr() as usize;
+        let x_rows_ref = &x_rows;
+        parallel_for(par, nr, 16, |range| {
+            for c in range {
+                // SAFETY: disjoint columns of xt.
+                let col =
+                    unsafe { std::slice::from_raw_parts_mut((ptr as *mut f64).add(c * k), k) };
+                let (ri, vs) = a21t.col(x_rows_ref[c]);
+                for (&t, &v) in ri.iter().zip(vs) {
+                    col[t] = v;
+                }
+                // Solve x Ā11 = row  <=>  Ā11^T x^T = row^T.
+                lu11.solve_transpose_slice(col);
+            }
+        });
+    }
+    (x_rows, xt)
+}
+
+/// `L21 = Q̄21 Q̄11^{-1}` — the stability variant; dense in every
+/// trailing row.
+fn l21_qbased(
+    qk: &DenseMatrix,
+    pivot_rows: &[usize],
+    rest_rows: &[usize],
+    k: usize,
+    par: Parallelism,
+) -> (Vec<usize>, DenseMatrix) {
+    let q11 = qk.select_rows(pivot_rows);
+    let q21 = qk.select_rows(rest_rows);
+    let lu11 = lu(&q11);
+    let nr = rest_rows.len();
+    let x_rows: Vec<usize> = (0..nr).collect();
+    let mut xt = DenseMatrix::zeros(k, nr);
+    {
+        let ptr = xt.as_mut_slice().as_mut_ptr() as usize;
+        parallel_for(par, nr, 16, |range| {
+            for c in range {
+                // SAFETY: disjoint columns of xt.
+                let col =
+                    unsafe { std::slice::from_raw_parts_mut((ptr as *mut f64).add(c * k), k) };
+                for t in 0..k {
+                    col[t] = q21.get(c, t);
+                }
+                lu11.solve_transpose_slice(col);
+            }
+        });
+    }
+    (x_rows, xt)
+}
+
+/// `S = Ā22 - X Ā12` with `X` given as dense rows over `x_rows`
+/// (`xt` is `k x nr`, column `r` = the dense row `x_rows[r]` of `X`).
+/// Parallel over output columns; this is where LU_CRTP's fill-in
+/// materializes.
+fn schur_update(
+    a22: &CscMatrix,
+    x_rows: &[usize],
+    xt: &DenseMatrix,
+    a12: &CscMatrix,
+    par: Parallelism,
+) -> CscMatrix {
+    let m = a22.rows();
+    let n = a22.cols();
+    let k = xt.rows();
+    debug_assert_eq!(a12.cols(), n);
+    debug_assert_eq!(a12.rows(), k);
+    type Partial = (Vec<usize>, Vec<usize>, Vec<f64>);
+    let (lens, rowidx, values) = parallel_map_fold(
+        par,
+        n,
+        32,
+        (Vec::new(), Vec::new(), Vec::new()),
+        |range| -> Partial { schur_update_cols(a22, x_rows, xt, a12, range) },
+        |mut acc, part| {
+            acc.0.extend(part.0);
+            acc.1.extend(part.1);
+            acc.2.extend(part.2);
+            acc
+        },
+    );
+    let mut colptr = Vec::with_capacity(n + 1);
+    colptr.push(0);
+    let mut run = 0;
+    for l in lens {
+        run += l;
+        colptr.push(run);
+    }
+    CscMatrix::from_parts(m, n, colptr, rowidx, values)
+}
+
+/// Schur-complement kernel for a contiguous column range: returns the
+/// per-column entry counts plus concatenated row indices and values.
+/// Shared by the thread-parallel and the SPMD (rank-distributed)
+/// drivers.
+pub(crate) fn schur_update_cols(
+    a22: &CscMatrix,
+    x_rows: &[usize],
+    xt: &DenseMatrix,
+    a12: &CscMatrix,
+    range: std::ops::Range<usize>,
+) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    let k = xt.rows();
+    let nr = x_rows.len();
+    let mut corr = vec![0.0f64; nr];
+    let mut lens = Vec::with_capacity(range.len());
+    let mut rows_out = Vec::new();
+    let mut vals_out = Vec::new();
+    for j in range {
+        let (ti, tv) = a12.col(j);
+        let any_corr = !ti.is_empty();
+        if any_corr {
+            for c in corr.iter_mut() {
+                *c = 0.0;
+            }
+            let xt_data = xt.as_slice();
+            for (&t, &v) in ti.iter().zip(tv) {
+                // corr[r] += v * xt[t, r] — walk row t of xt.
+                for (r, cr) in corr.iter_mut().enumerate() {
+                    *cr += v * xt_data[t + r * k];
+                }
+            }
+        }
+        // Merge a22 column with -corr at x_rows.
+        let (ai, av) = a22.col(j);
+        let before = rows_out.len();
+        if !any_corr {
+            rows_out.extend_from_slice(ai);
+            vals_out.extend_from_slice(av);
+        } else {
+            let mut p = 0usize; // into a22 col
+            let mut q = 0usize; // into x_rows
+            while p < ai.len() || q < nr {
+                if q >= nr || (p < ai.len() && ai[p] < x_rows[q]) {
+                    rows_out.push(ai[p]);
+                    vals_out.push(av[p]);
+                    p += 1;
+                } else if p >= ai.len() || x_rows[q] < ai[p] {
+                    let v = -corr[q];
+                    if v != 0.0 {
+                        rows_out.push(x_rows[q]);
+                        vals_out.push(v);
+                    }
+                    q += 1;
+                } else {
+                    let v = av[p] - corr[q];
+                    if v != 0.0 {
+                        rows_out.push(ai[p]);
+                        vals_out.push(v);
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        lens.push(rows_out.len() - before);
+    }
+    (lens, rows_out, vals_out)
+}

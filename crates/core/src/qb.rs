@@ -1,0 +1,304 @@
+//! RandQB_EI (Algorithm 1): randomized blocked QB factorization with
+//! the efficient error indicator of Yu, Gu & Li, plus the power scheme
+//! and the re-orthogonalization step.
+//!
+//! `Q_K` and `B_K` are kept as block lists so each iteration's
+//! corrections `A Ω - Q_K (B_K Ω)` cost `O(K k (m + n))` without
+//! reallocating the accumulated factors.
+
+use crate::timers::{KernelId, KernelTimers};
+use lra_dense::{matmul, matmul_sub_assign, matmul_tn, orth, DenseMatrix};
+use lra_par::Parallelism;
+use lra_sparse::{spmm_dense, spmm_t_dense, CscMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The double-precision floor below which the Frobenius-update error
+/// indicator of RandQB_EI breaks down (Theorem 3 of Yu et al.; the
+/// paper quotes `tau < 2.1e-7`).
+pub const QB_INDICATOR_FLOOR: f64 = 2.1e-7;
+
+/// Options for [`rand_qb_ei`].
+#[derive(Debug, Clone)]
+pub struct QbOpts {
+    /// Block size `k`.
+    pub k: usize,
+    /// Power-scheme parameter `p` (0..=3 in the paper).
+    pub p: usize,
+    /// Relative tolerance `tau`.
+    pub tau: f64,
+    /// RNG seed for the Gaussian sketches.
+    pub seed: u64,
+    /// Worker count.
+    pub par: Parallelism,
+    /// Optional rank cap.
+    pub max_rank: Option<usize>,
+}
+
+impl QbOpts {
+    /// Defaults: `p = 1` (the paper's best trade-off), sequential.
+    pub fn new(k: usize, tau: f64) -> Self {
+        QbOpts {
+            k,
+            p: 1,
+            tau,
+            seed: 0x5EED,
+            par: Parallelism::SEQ,
+            max_rank: None,
+        }
+    }
+
+    /// Builder-style power parameter.
+    pub fn with_power(mut self, p: usize) -> Self {
+        self.p = p;
+        self
+    }
+
+    /// Builder-style parallelism.
+    pub fn with_par(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Builder-style seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style rank cap.
+    pub fn with_max_rank(mut self, max_rank: usize) -> Self {
+        self.max_rank = Some(max_rank);
+        self
+    }
+}
+
+/// Errors from [`rand_qb_ei`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QbError {
+    /// Requested `tau` is below the indicator's double-precision floor
+    /// (eq. 4 fails for `tau < 2.1e-7`, Theorem 3 of Yu et al.).
+    TauBelowIndicatorFloor {
+        /// The requested tolerance.
+        tau: f64,
+    },
+}
+
+impl std::fmt::Display for QbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QbError::TauBelowIndicatorFloor { tau } => write!(
+                f,
+                "tau = {tau:e} is below the RandQB_EI error-indicator floor {QB_INDICATOR_FLOOR:e} \
+                 (Theorem 3 of Yu et al.): the Frobenius-difference indicator cannot certify it \
+                 in double precision"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QbError {}
+
+/// Result of [`rand_qb_ei`].
+#[derive(Debug, Clone)]
+pub struct QbResult {
+    /// Orthonormal basis, `m x K`.
+    pub q: DenseMatrix,
+    /// Coefficient factor, `K x n` (`Q B ≈ A`).
+    pub b: DenseMatrix,
+    /// Achieved rank `K`.
+    pub rank: usize,
+    /// Number of block iterations.
+    pub iterations: usize,
+    /// Whether the tolerance was met before the rank cap.
+    pub converged: bool,
+    /// Error-indicator value per iteration (eq. 4).
+    pub indicator_history: Vec<f64>,
+    /// Final indicator.
+    pub indicator: f64,
+    /// `||A||_F`.
+    pub a_norm_f: f64,
+    /// Kernel timers (Fig. 6 breakdown).
+    pub timers: KernelTimers,
+}
+
+impl QbResult {
+    /// Exact error `||A - Q B||_F` (forms the residual blockwise; for
+    /// validation).
+    pub fn exact_error(&self, a: &CscMatrix, par: Parallelism) -> f64 {
+        let mut resid = spmm_dense(a, &DenseMatrix::identity(a.cols()), par);
+        matmul_sub_assign(&mut resid, &self.q, &self.b, par);
+        resid.fro_norm()
+    }
+
+    /// `max |Q^T Q - I|` — the loss-of-orthogonality metric the paper
+    /// reports for `Q_K`.
+    pub fn orthogonality_error(&self) -> f64 {
+        self.q.orthogonality_error()
+    }
+
+    /// Approximated minimum rank for a (coarser) tolerance, read off the
+    /// indicator history of this run at block resolution — the paper's
+    /// "with RandQB_EI, the exact rank approximation can also be
+    /// determined at small cost" (the asterisk series of Figs. 2-3).
+    /// Returns `None` if this run never reached `tau`.
+    pub fn min_rank_for(&self, tau: f64) -> Option<usize> {
+        let block = if self.iterations > 0 {
+            self.rank.div_ceil(self.iterations)
+        } else {
+            return if tau >= 1.0 || self.a_norm_f == 0.0 { Some(0) } else { None };
+        };
+        self.indicator_history
+            .iter()
+            .position(|&e| e < tau * self.a_norm_f)
+            .map(|i| ((i + 1) * block).min(self.rank))
+    }
+}
+
+/// Standard-normal matrix via Box-Muller (the offline `rand` has no
+/// normal distribution helper).
+fn randn(rows: usize, cols: usize, rng: &mut StdRng) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |_, _| {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    })
+}
+
+/// RandQB_EI (Algorithm 1). Returns `Err` if `tau` is below the
+/// indicator's double-precision floor.
+pub fn rand_qb_ei(a: &CscMatrix, opts: &QbOpts) -> Result<QbResult, QbError> {
+    if opts.tau < QB_INDICATOR_FLOOR {
+        return Err(QbError::TauBelowIndicatorFloor { tau: opts.tau });
+    }
+    let m = a.rows();
+    let n = a.cols();
+    let k = opts.k.min(m).min(n).max(1);
+    let par = opts.par;
+    let mut timers = KernelTimers::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    let a_norm_sq = a.fro_norm_sq();
+    let a_norm_f = a_norm_sq.sqrt();
+    if a_norm_f == 0.0 {
+        // The zero matrix is its own rank-0 approximation.
+        return Ok(QbResult {
+            q: DenseMatrix::zeros(m, 0),
+            b: DenseMatrix::zeros(0, n),
+            rank: 0,
+            iterations: 0,
+            converged: true,
+            indicator: 0.0,
+            indicator_history: Vec::new(),
+            a_norm_f,
+            timers,
+        });
+    }
+    let stop = opts.tau * a_norm_f;
+    let rank_cap = opts.max_rank.unwrap_or(usize::MAX).min(m.min(n));
+
+    let mut q_blocks: Vec<DenseMatrix> = Vec::new();
+    let mut b_blocks: Vec<DenseMatrix> = Vec::new();
+    let mut e = a_norm_sq;
+    let mut history = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0usize;
+    let mut rank = 0usize;
+
+    while rank < rank_cap {
+        let kk = k.min(rank_cap - rank);
+        // Line 4-5: sketch and correct.
+        let omega = randn(n, kk, &mut rng);
+        let mut y = timers.time(KernelId::Sketch, || {
+            let mut y = spmm_dense(a, &omega, par);
+            if !q_blocks.is_empty() {
+                // Y -= Q_K (B_K Ω), blockwise.
+                for (qb, bb) in q_blocks.iter().zip(&b_blocks) {
+                    let t = matmul(bb, &omega, par);
+                    matmul_sub_assign(&mut y, qb, &t, par);
+                }
+            }
+            y
+        });
+        let mut qk = timers.time(KernelId::Orth, || orth(&y, par));
+
+        // Lines 6-9: power scheme.
+        for _ in 0..opts.p {
+            timers.time(KernelId::PowerIter, || {
+                // Q̂ = orth(A^T Q_k - B_K^T (Q_K^T Q_k))
+                let mut z = spmm_t_dense(a, &qk, par);
+                for (qb, bb) in q_blocks.iter().zip(&b_blocks) {
+                    let t = matmul_tn(qb, &qk, par);
+                    // z -= B_j^T t  (B_j^T is n x kk_block)
+                    let bt = bb.transpose();
+                    matmul_sub_assign(&mut z, &bt, &t, par);
+                }
+                let qhat = orth(&z, par);
+                // Q_k = orth(A Q̂ - Q_K (B_K Q̂))
+                let mut w = spmm_dense(a, &qhat, par);
+                for (qb, bb) in q_blocks.iter().zip(&b_blocks) {
+                    let t = matmul(bb, &qhat, par);
+                    matmul_sub_assign(&mut w, qb, &t, par);
+                }
+                qk = orth(&w, par);
+            });
+        }
+
+        // Line 10: re-orthogonalization against previous blocks.
+        timers.time(KernelId::Orth, || {
+            if !q_blocks.is_empty() {
+                for qb in &q_blocks {
+                    let t = matmul_tn(qb, &qk, par);
+                    matmul_sub_assign(&mut qk, qb, &t, par);
+                }
+                qk = orth(&qk, par);
+            }
+        });
+
+        // Line 11: B_k = Q_k^T A.
+        let bk = timers.time(KernelId::BUpdate, || {
+            spmm_t_dense(a, &qk, par).transpose()
+        });
+
+        // Lines 12-14: expand, update the indicator, test.
+        e -= bk.fro_norm_sq();
+        // Guard tiny negative round-off.
+        let ind = e.max(0.0).sqrt();
+        y = DenseMatrix::zeros(0, 0); // release the sketch early
+        let _ = y;
+        q_blocks.push(qk);
+        b_blocks.push(bk);
+        rank += kk;
+        iterations += 1;
+        history.push(ind);
+        if ind < stop {
+            converged = true;
+            break;
+        }
+    }
+
+    // Concatenate blocks.
+    let (q, b) = timers.time(KernelId::Concat, || {
+        let mut q = DenseMatrix::zeros(m, rank);
+        let mut b = DenseMatrix::zeros(rank, n);
+        let mut off = 0;
+        for (qb, bb) in q_blocks.iter().zip(&b_blocks) {
+            q.set_submatrix(0, off, qb);
+            b.set_submatrix(off, 0, bb);
+            off += qb.cols();
+        }
+        (q, b)
+    });
+
+    Ok(QbResult {
+        q,
+        b,
+        rank,
+        iterations,
+        converged,
+        indicator: history.last().copied().unwrap_or(a_norm_f),
+        indicator_history: history,
+        a_norm_f,
+        timers,
+    })
+}

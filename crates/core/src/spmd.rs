@@ -1,0 +1,471 @@
+//! Rank-distributed LU_CRTP over the `lra-comm` SPMD runtime — the
+//! direct structural port of the paper's MPI implementation
+//! (Section V).
+//!
+//! Data placement mirrors the paper: the (replicated, read-only) Schur
+//! complement is processed with a (block) column distribution; the
+//! column tournament runs its communication-free local stage per rank
+//! followed by `log2(P)` pairwise reduction rounds
+//! ([`lra_qrtp::tournament_columns_spmd`]); the panel factorization is
+//! a TSQR over rank-owned row blocks; `Ā21` rows are scattered for the
+//! `L21` solve and the result is allgathered; the Schur complement
+//! columns are computed rank-locally and allgathered; the error
+//! indicator is a partial-norm allreduce.
+
+use crate::lucrtp::{
+    schur_update_cols, Breakdown, DropStrategy, IlutOpts, IterTrace, LuCrtpOpts, LuCrtpResult,
+    ThresholdReport,
+};
+use crate::timers::KernelTimers;
+use lra_comm::Ctx;
+use lra_dense::{lu, qr, DenseMatrix};
+use lra_ordering::fill_reducing_order;
+use lra_par::{split_ranges, Parallelism};
+use lra_qrtp::{tournament_columns_spmd, TournamentTree};
+use lra_sparse::CscMatrix;
+
+/// SPMD LU_CRTP: every rank calls this with the same `a` and `opts`
+/// inside an [`lra_comm::run`] region; every rank returns the same
+/// result. `opts.par` is ignored (parallelism comes from the ranks).
+pub fn lu_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
+    drive_spmd(ctx, a, opts, None)
+}
+
+/// SPMD ILUT_CRTP (Algorithm 3 over ranks): identical distribution to
+/// [`lu_crtp_spmd`] plus replicated deterministic thresholding — every
+/// rank holds the same Schur complement and drops the same entries, so
+/// no extra communication is needed for the threshold bookkeeping.
+pub fn ilut_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
+    let state = SpmdIlutState {
+        cfg: opts.clone(),
+        mu: 0.0,
+        phi: 0.0,
+        mass_sq: 0.0,
+        dropped: 0,
+        control_triggered: false,
+    };
+    drive_spmd(ctx, a, &opts.base.clone(), Some(state))
+}
+
+/// Convenience wrapper for [`ilut_crtp_spmd`] on `np` ranks.
+pub fn ilut_crtp_dist(a: &CscMatrix, opts: &IlutOpts, np: usize) -> LuCrtpResult {
+    let mut results = lra_comm::run(np, |ctx| ilut_crtp_spmd(ctx, a, opts));
+    results.swap_remove(0)
+}
+
+struct SpmdIlutState {
+    cfg: IlutOpts,
+    mu: f64,
+    phi: f64,
+    mass_sq: f64,
+    dropped: usize,
+    control_triggered: bool,
+}
+
+#[allow(clippy::too_many_lines)]
+fn drive_spmd(
+    ctx: &Ctx,
+    a: &CscMatrix,
+    opts: &LuCrtpOpts,
+    mut ilut: Option<SpmdIlutState>,
+) -> LuCrtpResult {
+    let m = a.rows();
+    let n = a.cols();
+    let size = ctx.size();
+    let rank = ctx.rank();
+    let mut timers = KernelTimers::new();
+    let a_norm_f = a.fro_norm();
+    let stop = opts.tau * a_norm_f;
+    let rank_cap = opts.max_rank.unwrap_or(usize::MAX).min(m.min(n));
+    if a_norm_f == 0.0 {
+        return LuCrtpResult {
+            l: CscMatrix::zeros(m, 0),
+            u: CscMatrix::zeros(0, n),
+            pivot_rows: Vec::new(),
+            pivot_cols: Vec::new(),
+            rank: 0,
+            iterations: 0,
+            converged: true,
+            breakdown: None,
+            indicator: 0.0,
+            a_norm_f,
+            r11: 0.0,
+            trace: Vec::new(),
+            timers,
+            threshold: ilut.map(|st| ThresholdReport {
+                mu: st.mu,
+                phi: st.phi,
+                dropped: st.dropped,
+                dropped_mass_sq: st.mass_sq,
+                control_triggered: st.control_triggered,
+            }),
+        };
+    }
+
+    // Preprocessing on rank 0, broadcast (COLAMD is intrinsically
+    // sequential — "we apply COLAMD as a preprocessing step").
+    let initial_cols: Vec<usize> = match opts.ordering {
+        crate::OrderingMode::Natural => (0..n).collect(),
+        _ => {
+            let p = if rank == 0 {
+                fill_reducing_order(a)
+            } else {
+                Vec::new()
+            };
+            ctx.broadcast(0, p)
+        }
+    };
+    let mut s = a.select_columns(&initial_cols);
+    let mut row_map: Vec<usize> = (0..m).collect();
+    let mut col_map: Vec<usize> = initial_cols;
+
+    let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut ut_cols: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut pivot_rows_glob: Vec<usize> = Vec::new();
+    let mut pivot_cols_glob: Vec<usize> = Vec::new();
+    let mut trace: Vec<IterTrace> = Vec::new();
+    let mut k_rank = 0usize;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut breakdown = None;
+    let mut indicator = a_norm_f;
+    let mut r11 = 0.0f64;
+
+    loop {
+        if s.rows() == 0 || s.cols() == 0 || k_rank >= rank_cap {
+            if indicator >= stop {
+                breakdown = Some(Breakdown::RankExhausted);
+            }
+            break;
+        }
+        let k_want = opts.k.min(s.cols()).min(s.rows()).min(rank_cap - k_rank);
+
+        // Column tournament: distributed (local stage + log2(P) rounds).
+        let sel = timers.time(crate::KernelId::ColTournament, || {
+            tournament_columns_spmd(ctx, &s, None, k_want)
+        });
+        if iterations == 0 {
+            r11 = sel.r_diag.first().copied().unwrap_or(0.0).abs();
+        }
+        let k_eff = sel.selected.len();
+        if k_eff == 0 {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+
+        // Panel TSQR over rank-owned row blocks: local QR, allgather the
+        // small R factors, replicated root QR, local Q reconstruction,
+        // allgather the Q blocks.
+        let m_act = s.rows();
+        let mut panel_r_diag: Vec<f64> = Vec::new();
+        let qk = timers.time(crate::KernelId::PanelQr, || {
+            let blocks = split_ranges(m_act, size.min((m_act / k_eff.max(1)).max(1)));
+            let my_block = blocks.get(rank).cloned();
+            let (my_r, my_f) = match &my_block {
+                Some(rg) => {
+                    let local = s.gather_columns_rows_dense(&sel.selected, rg.clone());
+                    let f = qr(&local, Parallelism::SEQ);
+                    (f.r(), Some(f))
+                }
+                None => (DenseMatrix::zeros(0, k_eff), None),
+            };
+            let all_r: Vec<DenseMatrix> = ctx.allgather(my_r);
+            let mut stacked: Option<DenseMatrix> = None;
+            for r in all_r {
+                if r.rows() == 0 {
+                    continue;
+                }
+                stacked = Some(match stacked {
+                    None => r,
+                    Some(prev) => prev.vcat(&r),
+                });
+            }
+            let top = qr(&stacked.expect("empty panel"), Parallelism::SEQ);
+            panel_r_diag = top.r_diag().iter().map(|v| v.abs()).take(k_eff).collect();
+            let qs = top.q_thin(Parallelism::SEQ);
+            // Back-propagate this rank's block of Q.
+            let my_q = match (&my_block, my_f) {
+                (Some(rg), Some(f)) => {
+                    // Rows of qs owned by this rank: blocks before ours
+                    // contribute min(block_len, k_eff) rows each.
+                    let mut off = 0;
+                    for (b, brange) in blocks.iter().enumerate() {
+                        if b == rank {
+                            break;
+                        }
+                        off += brange.len().min(k_eff);
+                    }
+                    let my_rows = rg.len().min(k_eff);
+                    let mut piece = DenseMatrix::zeros(rg.len(), k_eff);
+                    for j in 0..k_eff {
+                        for i in 0..my_rows {
+                            piece.set(i, j, qs.get(off + i, j));
+                        }
+                    }
+                    f.apply_q(&mut piece, Parallelism::SEQ);
+                    piece
+                }
+                _ => DenseMatrix::zeros(0, k_eff),
+            };
+            let all_q: Vec<DenseMatrix> = ctx.allgather(my_q);
+            let mut qk = DenseMatrix::zeros(m_act, k_eff);
+            let mut row0 = 0;
+            for q in all_q {
+                if q.rows() == 0 {
+                    continue;
+                }
+                qk.set_submatrix(row0, 0, &q);
+                row0 += q.rows();
+            }
+            qk
+        });
+
+        // Row tournament on Q_k^T (replicated input, distributed tree).
+        let rows = timers.time(crate::KernelId::RowTournament, || {
+            let qt = qk.transpose();
+            tournament_columns_spmd(ctx, &qt, None, k_eff).selected
+        });
+        if rows.len() < k_eff {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+        // Keep determinism: all ranks received identical selections.
+
+        // Split (replicated — the "local row permutations" of Fig. 5).
+        let (a11, a12, a21, a22, rest_rows, rest_cols) =
+            timers.time(crate::KernelId::Permute, || {
+                s.split_blocks(&rows, &sel.selected)
+            });
+
+        let lu11 = lu(&a11);
+        if lu11.is_singular() {
+            breakdown = Some(Breakdown::SingularPivotBlock);
+            break;
+        }
+
+        // L21: Ā21 rows scattered across ranks, Ā11 replicated
+        // (broadcast in the paper), result allgathered.
+        let (x_rows, xt) = timers.time(crate::KernelId::LSolve, || {
+            let a21t = a21.transpose();
+            let x_rows: Vec<usize> =
+                (0..a21t.cols()).filter(|&c| a21t.col_nnz(c) > 0).collect();
+            let nr = x_rows.len();
+            let ranges = split_ranges(nr, size);
+            let my_range = ranges.get(rank).cloned().unwrap_or(0..0);
+            let mut my_xt = DenseMatrix::zeros(k_eff, my_range.len());
+            for (slot, xi) in my_range.clone().enumerate() {
+                let col = my_xt.col_mut(slot);
+                let (ri, vs) = a21t.col(x_rows[xi]);
+                for (&t, &v) in ri.iter().zip(vs) {
+                    col[t] = v;
+                }
+                lu11.solve_transpose_slice(col);
+            }
+            let all_xt: Vec<DenseMatrix> = ctx.allgather(my_xt);
+            let mut xt = DenseMatrix::zeros(k_eff, nr);
+            let mut c0 = 0;
+            for part in all_xt {
+                if part.cols() == 0 {
+                    continue;
+                }
+                xt.set_submatrix(0, c0, &part);
+                c0 += part.cols();
+            }
+            (x_rows, xt)
+        });
+
+        // Schur complement: block-column distribution + allgather.
+        let mut s_next = timers.time(crate::KernelId::Schur, || {
+            let n_rest = a22.cols();
+            let ranges = split_ranges(n_rest, size);
+            let my_range = ranges.get(rank).cloned().unwrap_or(0..0);
+            let my_part = schur_update_cols(&a22, &x_rows, &xt, &a12, my_range);
+            let parts: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = ctx.allgather(my_part);
+            let mut colptr = Vec::with_capacity(n_rest + 1);
+            colptr.push(0);
+            let mut rowidx = Vec::new();
+            let mut values = Vec::new();
+            let mut run = 0usize;
+            for (lens, rows_p, vals_p) in parts {
+                for l in lens {
+                    run += l;
+                    colptr.push(run);
+                }
+                rowidx.extend(rows_p);
+                values.extend(vals_p);
+            }
+            CscMatrix::from_parts(a22.rows(), n_rest, colptr, rowidx, values)
+        });
+
+        // Record factors (replicated bookkeeping).
+        timers.time(crate::KernelId::Concat, || {
+            let a12t = a12.transpose();
+            for t in 0..k_eff {
+                let mut ucol: Vec<(usize, f64)> = Vec::new();
+                for (p, &c_loc) in sel.selected.iter().enumerate() {
+                    let v = a11.get(t, p);
+                    if v != 0.0 {
+                        ucol.push((col_map[c_loc], v));
+                    }
+                }
+                let (ci, cv) = a12t.col(t);
+                for (&j_rest, &v) in ci.iter().zip(cv) {
+                    ucol.push((col_map[rest_cols[j_rest]], v));
+                }
+                ucol.sort_unstable_by_key(|&(c, _)| c);
+                ut_cols.push(ucol);
+
+                let mut lcol: Vec<(usize, f64)> = Vec::new();
+                lcol.push((row_map[rows[t]], 1.0));
+                for (xi, &r_rest) in x_rows.iter().enumerate() {
+                    let v = xt.get(t, xi);
+                    if v != 0.0 {
+                        lcol.push((row_map[rest_rows[r_rest]], v));
+                    }
+                }
+                lcol.sort_unstable_by_key(|&(r, _)| r);
+                l_cols.push(lcol);
+            }
+            pivot_rows_glob.extend(rows.iter().map(|&r| row_map[r]));
+            pivot_cols_glob.extend(sel.selected.iter().map(|&c| col_map[c]));
+        });
+
+        k_rank += k_eff;
+        iterations += 1;
+
+        // Error indicator: partial squared norm + allreduce (each rank
+        // owns a column slice in spirit; the replicated matrix makes
+        // the local sum trivial, but the reduction is still exercised).
+        indicator = timers.time(crate::KernelId::Indicator, || {
+            let ranges = split_ranges(s_next.cols(), size);
+            let my_range = ranges.get(rank).cloned().unwrap_or(0..0);
+            let mut local = 0.0f64;
+            for j in my_range {
+                let (_, vs) = s_next.col(j);
+                local += vs.iter().map(|v| v * v).sum::<f64>();
+            }
+            ctx.allreduce(local, |a, b| a + b).sqrt()
+        });
+        trace.push(IterTrace {
+            iteration: iterations,
+            rank: k_rank,
+            indicator,
+            schur_nnz: s_next.nnz(),
+            schur_density: s_next.density(),
+            schur_nnz_per_row: s_next.nnz_per_row(),
+            r_diag: panel_r_diag.clone(),
+        });
+        if indicator < stop {
+            converged = true;
+            break;
+        }
+        if k_rank >= rank_cap {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+
+        // ILUT_CRTP lines 5, 8-10 (replicated: all ranks hold identical
+        // Schur complements, so identical drops need no communication).
+        if let Some(state) = ilut.as_mut() {
+            if iterations == 1 {
+                state.mu = opts.tau * r11
+                    / (state.cfg.u_estimate as f64 * (a.nnz().max(1) as f64).sqrt());
+                state.phi = state.cfg.phi_factor * opts.tau * r11;
+            }
+            if state.mu > 0.0 {
+                timers.time(crate::KernelId::Drop, || match state.cfg.strategy {
+                    DropStrategy::Fixed => {
+                        let (dropped_mat, mass, count) = s_next.drop_below(state.mu);
+                        if (state.mass_sq + mass).sqrt() >= state.phi {
+                            state.control_triggered = true;
+                            state.mu = 0.0;
+                        } else {
+                            state.mass_sq += mass;
+                            state.dropped += count;
+                            s_next = dropped_mat;
+                        }
+                    }
+                    DropStrategy::Aggressive => {
+                        let budget = state.phi * state.phi - state.mass_sq;
+                        if budget > 0.0 {
+                            let mags = s_next.small_entry_magnitudes(state.phi);
+                            let mut run = 0.0;
+                            let mut cutoff = 0.0;
+                            for &v in &mags {
+                                if run + v * v >= budget {
+                                    break;
+                                }
+                                run += v * v;
+                                cutoff = v;
+                            }
+                            if cutoff > 0.0 {
+                                let thr = cutoff * (1.0 + 1e-15) + f64::MIN_POSITIVE;
+                                let (dropped_mat, mass, count) = s_next.drop_below(thr);
+                                if (state.mass_sq + mass).sqrt() < state.phi {
+                                    state.mass_sq += mass;
+                                    state.dropped += count;
+                                    s_next = dropped_mat;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        }
+
+        row_map = rest_rows.iter().map(|&r| row_map[r]).collect();
+        col_map = rest_cols.iter().map(|&c| col_map[c]).collect();
+        s = s_next;
+        if iterations > 4 * (m.min(n) / opts.k.max(1) + 2) {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+    }
+
+    let l = {
+        let mut b = lra_sparse::SparseBuilder::new(m, l_cols.len());
+        for col in &l_cols {
+            b.push_col(col);
+        }
+        b.finish()
+    };
+    let u = {
+        let mut b = lra_sparse::SparseBuilder::new(n, ut_cols.len());
+        for col in &ut_cols {
+            b.push_col(col);
+        }
+        b.finish().transpose()
+    };
+    LuCrtpResult {
+        l,
+        u,
+        pivot_rows: pivot_rows_glob,
+        pivot_cols: pivot_cols_glob,
+        rank: k_rank,
+        iterations,
+        converged,
+        breakdown,
+        indicator,
+        a_norm_f,
+        r11,
+        trace,
+        timers,
+        threshold: ilut.map(|st| ThresholdReport {
+            mu: st.mu,
+            phi: st.phi,
+            dropped: st.dropped,
+            dropped_mass_sq: st.mass_sq,
+            control_triggered: st.control_triggered,
+        }),
+    }
+}
+
+/// Convenience wrapper: run [`lu_crtp_spmd`] on `np` ranks and return
+/// rank 0's result. The tournament tree option is implicit (the SPMD
+/// driver always reduces over the binomial rank tree).
+pub fn lu_crtp_dist(a: &CscMatrix, opts: &LuCrtpOpts, np: usize) -> LuCrtpResult {
+    let _ = TournamentTree::Binary;
+    let mut results = lra_comm::run(np, |ctx| lu_crtp_spmd(ctx, a, opts));
+    results.swap_remove(0)
+}
+

@@ -1,0 +1,245 @@
+//! Dense matrix-matrix products (the `El::Gemm` substitute).
+//!
+//! Three orientations cover every use in the low-rank algorithms:
+//! `C = A B` (sketch application), `C = A^T B` (projections
+//! `B_K = Q_K^T A`, Gram-type products) and `C = A B^T` (subtracting
+//! `Q_K (B_K Omega)` style corrections). All parallelize over output
+//! columns through `lra-par`, which is efficient because every variant
+//! writes whole output columns contiguously.
+
+use crate::DenseMatrix;
+use lra_par::{parallel_for, Parallelism};
+
+/// Grain size (output columns per task) for parallel GEMM loops.
+const COL_GRAIN: usize = 2;
+
+/// `C = A * B`.
+pub fn matmul(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimension mismatch");
+    let m = a.rows();
+    let n = b.cols();
+    let k = a.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    let a_data = a.as_slice();
+    let c_cols: Vec<std::ops::Range<usize>> = (0..n).map(|j| j * m..(j + 1) * m).collect();
+    // Write into the raw buffer through disjoint column ranges.
+    let c_ptr = c.as_mut_slice().as_mut_ptr() as usize;
+    parallel_for(par, n, COL_GRAIN, |range| {
+        for j in range {
+            // SAFETY: each output column j is owned by exactly one task.
+            let cj = unsafe {
+                std::slice::from_raw_parts_mut((c_ptr as *mut f64).add(c_cols[j].start), m)
+            };
+            let bj = b.col(j);
+            for l in 0..k {
+                let blj = bj[l];
+                if blj == 0.0 {
+                    continue;
+                }
+                let al = &a_data[l * m..(l + 1) * m];
+                for (ci, &ai) in cj.iter_mut().zip(al) {
+                    *ci += blj * ai;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// `C = A^T * B`.
+pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: inner dimension mismatch");
+    let m = a.cols();
+    let n = b.cols();
+    let inner = a.rows();
+    let mut c = DenseMatrix::zeros(m, n);
+    let c_ptr = c.as_mut_slice().as_mut_ptr() as usize;
+    parallel_for(par, n, COL_GRAIN, |range| {
+        for j in range {
+            // SAFETY: disjoint output columns.
+            let cj =
+                unsafe { std::slice::from_raw_parts_mut((c_ptr as *mut f64).add(j * m), m) };
+            let bj = b.col(j);
+            for (i, ci) in cj.iter_mut().enumerate() {
+                let ai = a.col(i);
+                let mut dot = 0.0;
+                for l in 0..inner {
+                    dot += ai[l] * bj[l];
+                }
+                *ci = dot;
+            }
+        }
+    });
+    c
+}
+
+/// `C = A * B^T`.
+pub fn matmul_nt(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dimension mismatch");
+    let m = a.rows();
+    let n = b.rows();
+    let k = a.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    let a_data = a.as_slice();
+    let c_ptr = c.as_mut_slice().as_mut_ptr() as usize;
+    parallel_for(par, n, COL_GRAIN, |range| {
+        for j in range {
+            // SAFETY: disjoint output columns.
+            let cj =
+                unsafe { std::slice::from_raw_parts_mut((c_ptr as *mut f64).add(j * m), m) };
+            for l in 0..k {
+                // B^T(l, j) = B(j, l)
+                let blj = b.get(j, l);
+                if blj == 0.0 {
+                    continue;
+                }
+                let al = &a_data[l * m..(l + 1) * m];
+                for (ci, &ai) in cj.iter_mut().zip(al) {
+                    *ci += blj * ai;
+                }
+            }
+        }
+    });
+    c
+}
+
+/// `y = A * x` for a dense vector `x`.
+pub fn matvec(a: &DenseMatrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len());
+    let mut y = vec![0.0; a.rows()];
+    for (l, &xl) in x.iter().enumerate() {
+        if xl == 0.0 {
+            continue;
+        }
+        for (yi, &ai) in y.iter_mut().zip(a.col(l)) {
+            *yi += xl * ai;
+        }
+    }
+    y
+}
+
+/// `C -= A * B` in place (used for `A Omega - Q (B Omega)` updates).
+pub fn matmul_sub_assign(c: &mut DenseMatrix, a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) {
+    assert_eq!(a.cols(), b.rows());
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.cols());
+    let m = a.rows();
+    let n = b.cols();
+    let k = a.cols();
+    let a_data = a.as_slice();
+    let c_ptr = c.as_mut_slice().as_mut_ptr() as usize;
+    parallel_for(par, n, COL_GRAIN, |range| {
+        for j in range {
+            // SAFETY: disjoint output columns.
+            let cj =
+                unsafe { std::slice::from_raw_parts_mut((c_ptr as *mut f64).add(j * m), m) };
+            let bj = b.col(j);
+            for l in 0..k {
+                let blj = bj[l];
+                if blj == 0.0 {
+                    continue;
+                }
+                let al = &a_data[l * m..(l + 1) * m];
+                for (ci, &ai) in cj.iter_mut().zip(al) {
+                    *ci -= blj * ai;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let mut c = DenseMatrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for l in 0..a.cols() {
+                    s += a.get(i, l) * b.get(l, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        // Tiny deterministic LCG so this module needs no rand dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        DenseMatrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_mat(13, 7, 1);
+        let b = rand_mat(7, 9, 2);
+        let c = matmul(&a, &b, Parallelism::SEQ);
+        let c_ref = naive_matmul(&a, &b);
+        assert!(c.max_abs_diff(&c_ref) < 1e-13);
+        let c_par = matmul(&a, &b, Parallelism::new(4));
+        assert!(c_par.max_abs_diff(&c_ref) < 1e-13);
+    }
+
+    #[test]
+    fn matmul_tn_matches_naive() {
+        let a = rand_mat(11, 6, 3);
+        let b = rand_mat(11, 5, 4);
+        let c = matmul_tn(&a, &b, Parallelism::new(3));
+        let c_ref = naive_matmul(&a.transpose(), &b);
+        assert!(c.max_abs_diff(&c_ref) < 1e-13);
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive() {
+        let a = rand_mat(8, 6, 5);
+        let b = rand_mat(10, 6, 6);
+        let c = matmul_nt(&a, &b, Parallelism::new(2));
+        let c_ref = naive_matmul(&a, &b.transpose());
+        assert!(c.max_abs_diff(&c_ref) < 1e-13);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = rand_mat(9, 4, 7);
+        let x: Vec<f64> = (0..4).map(|i| i as f64 - 1.5).collect();
+        let y = matvec(&a, &x);
+        let xm = DenseMatrix::from_fn(4, 1, |i, _| x[i]);
+        let y_ref = matmul(&a, &xm, Parallelism::SEQ);
+        for i in 0..9 {
+            assert!((y[i] - y_ref.get(i, 0)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn sub_assign_matches() {
+        let a = rand_mat(7, 5, 8);
+        let b = rand_mat(5, 6, 9);
+        let mut c = rand_mat(7, 6, 10);
+        let expected = {
+            let mut e = c.clone();
+            e.axpy(-1.0, &naive_matmul(&a, &b));
+            e
+        };
+        matmul_sub_assign(&mut c, &a, &b, Parallelism::new(4));
+        assert!(c.max_abs_diff(&expected) < 1e-13);
+    }
+
+    #[test]
+    fn empty_dims() {
+        let a = DenseMatrix::zeros(0, 3);
+        let b = DenseMatrix::zeros(3, 2);
+        let c = matmul(&a, &b, Parallelism::SEQ);
+        assert_eq!(c.rows(), 0);
+        assert_eq!(c.cols(), 2);
+        let a = DenseMatrix::zeros(4, 0);
+        let b = DenseMatrix::zeros(0, 2);
+        let c = matmul(&a, &b, Parallelism::SEQ);
+        assert_eq!(c.max_abs(), 0.0);
+    }
+}

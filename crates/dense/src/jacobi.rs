@@ -1,0 +1,156 @@
+//! One-sided Jacobi SVD (full `U`, `S`, `V`).
+//!
+//! Slow but extremely robust; used as the reference decomposition in
+//! tests and for small matrices where singular vectors are needed.
+
+use crate::DenseMatrix;
+
+/// One-sided Jacobi SVD of `a` (`m x n`, any shape with `m >= n`
+/// preferred; callers with wide input should transpose first).
+///
+/// Returns `(u, s, v)` with `a = u * diag(s) * v^T`, `s` descending,
+/// `u` of shape `m x n`, `v` of shape `n x n`. Columns of `u` matching
+/// zero singular values are zero vectors.
+pub fn jacobi_svd(a: &DenseMatrix) -> (DenseMatrix, Vec<f64>, DenseMatrix) {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(
+        m >= n,
+        "jacobi_svd expects m >= n (transpose wide inputs first)"
+    );
+    let mut w = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    let eps = f64::EPSILON;
+    let max_sweeps = 60;
+    for _sweep in 0..max_sweeps {
+        let mut rotated = false;
+        for p in 0..n {
+            for q in p + 1..n {
+                // Gram entries for columns p, q.
+                let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                {
+                    let cp = w.col(p);
+                    let cq = w.col(q);
+                    for i in 0..m {
+                        app += cp[i] * cp[i];
+                        aqq += cq[i] * cq[i];
+                        apq += cp[i] * cq[i];
+                    }
+                }
+                if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 {
+                    continue;
+                }
+                rotated = true;
+                // Jacobi rotation zeroing the (p,q) Gram entry.
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = if zeta >= 0.0 {
+                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                } else {
+                    -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                {
+                    let (cp, cq) = w.two_cols_mut(p, q);
+                    for i in 0..m {
+                        let xp = cp[i];
+                        let xq = cq[i];
+                        cp[i] = c * xp - s * xq;
+                        cq[i] = s * xp + c * xq;
+                    }
+                }
+                {
+                    let (vp, vq) = v.two_cols_mut(p, q);
+                    for i in 0..n {
+                        let xp = vp[i];
+                        let xq = vq[i];
+                        vp[i] = c * xp - s * xq;
+                        vq[i] = s * xp + c * xq;
+                    }
+                }
+            }
+        }
+        if !rotated {
+            break;
+        }
+    }
+    // Column norms are the singular values.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = (0..n)
+        .map(|j| w.col(j).iter().map(|x| x * x).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+    let mut u = DenseMatrix::zeros(m, n);
+    let mut s = Vec::with_capacity(n);
+    let mut v_sorted = DenseMatrix::zeros(n, n);
+    for (dst, &src) in order.iter().enumerate() {
+        let sv = norms[src];
+        s.push(sv);
+        if sv > 0.0 {
+            let col = w.col(src);
+            let ucol = u.col_mut(dst);
+            for i in 0..m {
+                ucol[i] = col[i] / sv;
+            }
+        }
+        v_sorted.col_mut(dst).copy_from_slice(v.col(src));
+    }
+    (u, s, v_sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::matmul;
+    use lra_par::Parallelism;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        DenseMatrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn reconstructs() {
+        let a = rand_mat(10, 6, 1);
+        let (u, s, v) = jacobi_svd(&a);
+        let mut us = u.clone();
+        for (j, &sv) in s.iter().enumerate() {
+            for x in us.col_mut(j) {
+                *x *= sv;
+            }
+        }
+        let back = matmul(&us, &v.transpose(), Parallelism::SEQ);
+        assert!(back.max_abs_diff(&a) < 1e-11);
+        assert!(u.orthogonality_error() < 1e-12);
+        assert!(v.orthogonality_error() < 1e-12);
+    }
+
+    #[test]
+    fn descending_order() {
+        let a = rand_mat(9, 9, 2);
+        let (_, s, _) = jacobi_svd(&a);
+        for w in s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn rank_deficient() {
+        let u0 = rand_mat(12, 2, 3);
+        let v0 = rand_mat(5, 2, 4);
+        let a = matmul(&u0, &v0.transpose(), Parallelism::SEQ);
+        let (_, s, _) = jacobi_svd(&a);
+        assert!(s[2] < 1e-12 * s[0].max(1.0));
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = DenseMatrix::zeros(4, 3);
+        let (_, s, v) = jacobi_svd(&a);
+        assert!(s.iter().all(|&x| x == 0.0));
+        assert!(v.orthogonality_error() < 1e-14);
+    }
+}

@@ -1,0 +1,18 @@
+#![allow(clippy::needless_range_loop)] // indexing parallel arrays is clearest in these kernels
+//! Synthetic sparse matrix generators.
+//!
+//! The paper evaluates on SuiteSparse Collection matrices (Table I) and
+//! 197 matrices from the SJSU Singular Matrix Database; neither is
+//! bundled here, so this crate generates structural analogues per
+//! problem family with controllable singular-value decay (see DESIGN.md
+//! for the substitution argument). Everything is deterministic in the
+//! seed, so benchmark outputs are reproducible.
+
+mod gen;
+mod presets;
+
+pub use gen::{
+    banded, circuit, economic, fem2d, fluid_block, geometric_diag, spectrum, with_decay,
+    with_decay_rank,
+};
+pub use presets::{m1, m2, m3, m4, m5, m6, suite, table1_matrices, TestMatrix};

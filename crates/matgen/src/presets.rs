@@ -1,0 +1,178 @@
+//! Named test-matrix presets: laptop-scale analogues of Table I and the
+//! 197-matrix suite standing in for the SJSU Singular Matrix Database.
+
+use crate::gen;
+use lra_sparse::CscMatrix;
+
+/// A named test matrix with provenance metadata (our Table I).
+#[derive(Clone, Debug)]
+pub struct TestMatrix {
+    /// Short label (`M1'` … `M6'`).
+    pub label: String,
+    /// Name of the generator configuration.
+    pub name: String,
+    /// Problem family, mirroring Table I's description column.
+    pub description: String,
+    /// The matrix.
+    pub a: CscMatrix,
+}
+
+impl TestMatrix {
+    fn new(label: &str, name: &str, description: &str, a: CscMatrix) -> Self {
+        TestMatrix {
+            label: label.to_string(),
+            name: name.to_string(),
+            description: description.to_string(),
+            a,
+        }
+    }
+}
+
+/// Laptop-scale analogue of Table I matrix `M1` (bcsstk18, structural).
+pub fn m1(scale: usize) -> TestMatrix {
+    let s = scale.max(1);
+    let a = gen::with_decay_rank(&gen::fem2d(38 * s, 40 * s, 101), 1e-6, 500 * s, 11);
+    TestMatrix::new("M1'", "fem2d-structural", "Structural Problem", a)
+}
+
+/// Analogue of `M2` (raefsky3, fluid dynamics): dense coupled blocks,
+/// ~70 nnz/row, the fill-in-heavy case of Figs. 1/5/6.
+pub fn m2(scale: usize) -> TestMatrix {
+    let s = scale.max(1);
+    let a = gen::with_decay_rank(&gen::fluid_block(30 * s, 40, 102), 1e-6, 500 * s, 12);
+    TestMatrix::new("M2'", "fluid-block", "Fluid Dynamics", a)
+}
+
+/// Analogue of `M3` (onetone2, circuit simulation).
+pub fn m3(scale: usize) -> TestMatrix {
+    let s = scale.max(1);
+    let a = gen::with_decay_rank(&gen::circuit(2400 * s, 5, 20, 103), 1e-6, 700 * s, 13);
+    TestMatrix::new("M3'", "circuit-onetone", "Circuit Simulation", a)
+}
+
+/// Analogue of `M4` (rajat23, circuit simulation, larger and sparser).
+pub fn m4(scale: usize) -> TestMatrix {
+    let s = scale.max(1);
+    let a = gen::with_decay_rank(&gen::circuit(6000 * s, 4, 30, 104), 1e-6, 900 * s, 14);
+    TestMatrix::new("M4'", "circuit-rajat", "Circuit Simulation", a)
+}
+
+/// Analogue of `M5` (mac_econ_fwd500, economic problem).
+pub fn m5(scale: usize) -> TestMatrix {
+    let s = scale.max(1);
+    let a = gen::with_decay_rank(&gen::economic(8000 * s, 40, 105), 1e-6, 1100 * s, 15);
+    TestMatrix::new("M5'", "economic-sectors", "Economic Problem", a)
+}
+
+/// Analogue of `M6` (circuit5M_dc): the large gated case.
+pub fn m6(scale: usize) -> TestMatrix {
+    let s = scale.max(1);
+    let a = gen::with_decay_rank(&gen::circuit(40_000 * s, 3, 60, 106), 1e-6, 1500 * s, 16);
+    TestMatrix::new("M6'", "circuit-large", "Circuit Simulation", a)
+}
+
+/// All of M1'–M5' (the default Table II set; M6' is fetched separately
+/// because of its cost).
+pub fn table1_matrices(scale: usize) -> Vec<TestMatrix> {
+    vec![m1(scale), m2(scale), m3(scale), m4(scale), m5(scale)]
+}
+
+/// The 197-matrix suite standing in for the SJSU Singular Matrix
+/// Database subset of Section VI-A: small matrices spanning problem
+/// families, sizes, densities and spectral decay rates (including
+/// near-rank-deficient and effectively low-rank cases). Deterministic.
+pub fn suite() -> Vec<TestMatrix> {
+    let mut out = Vec::with_capacity(197);
+    let decays = [1e-2, 1e-4, 1e-6, 1e-8, 1e-10];
+    let mut i = 0usize;
+    while out.len() < 197 {
+        let seed = 1000 + i as u64;
+        let fam = i % 7;
+        let size_step = i / 7;
+        let n = 40 + 10 * (size_step % 17); // 40..200
+        let decay = decays[i % decays.len()];
+        let (name, a) = match fam {
+            0 => (
+                "fem2d",
+                gen::fem2d((n as f64).sqrt() as usize + 4, (n as f64).sqrt() as usize + 3, seed),
+            ),
+            1 => ("fluid", gen::fluid_block((n / 10).max(2), 10, seed)),
+            2 => ("circuit", gen::circuit(n, 3 + i % 3, 2 + i % 4, seed)),
+            3 => ("economic", gen::economic(n, 4 + i % 5, seed)),
+            4 => ("banded", gen::banded(n, 2 + i % 6, seed)),
+            5 => {
+                // Explicit low-rank + noise floor: rank r << n.
+                let r = 5 + i % 20;
+                let sigmas: Vec<f64> = (0..r)
+                    .map(|j| (10.0f64).powf(-(j as f64) * 8.0 / r as f64))
+                    .collect();
+                ("spectrum", gen::spectrum(n + 13, n, &sigmas, 6, seed))
+            }
+            _ => ("geom-diag-perturbed", {
+                let d = gen::geometric_diag(n, 0.85);
+                let noise = gen::circuit(n, 2, 1, seed);
+                let mut nn = noise;
+                nn.scale(1e-6);
+                lra_sparse::add_scaled(&d, 1.0, &nn)
+            }),
+        };
+        let a = if fam == 5 || fam == 6 {
+            a // already has controlled spectrum
+        } else {
+            gen::with_decay(&a, decay, seed ^ 0xABCD)
+        };
+        out.push(TestMatrix::new(
+            &format!("S{:03}", out.len()),
+            name,
+            "suite",
+            a,
+        ));
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_197_matrices() {
+        let s = suite();
+        assert_eq!(s.len(), 197);
+        for m in &s {
+            assert!(m.a.rows() >= 20);
+            assert!(m.a.nnz() > 0, "{} empty", m.label);
+            assert!(m.a.fro_norm().is_finite());
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = suite();
+        let b = suite();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.a, y.a);
+        }
+    }
+
+    #[test]
+    fn presets_have_expected_scale() {
+        let m1 = m1(1);
+        assert_eq!(m1.a.rows(), 38 * 40);
+        assert!(m1.a.nnz() > 5 * m1.a.rows());
+        let m2 = m2(1);
+        assert_eq!(m2.a.rows(), 1200);
+        // raefsky3-like density: tens of nnz per row.
+        assert!(m2.a.nnz_per_row() > 30.0, "{}", m2.a.nnz_per_row());
+    }
+
+    #[test]
+    fn suite_spans_diverse_densities() {
+        let s = suite();
+        let densities: Vec<f64> = s.iter().map(|m| m.a.density()).collect();
+        let min = densities.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = densities.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 10.0, "suite not diverse: {min} .. {max}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Spectral-calibration tests for the synthetic generators: the decay
+//! knobs must actually control the numerical rank profile, since every
+//! benchmark's cost depends on it.
+
+use lra_dense::{min_rank_for_tolerance, singular_values};
+
+#[test]
+fn with_decay_rank_pins_the_effective_rank() {
+    let base = lra_matgen::circuit(400, 4, 3, 1);
+    let er = 120;
+    let a = lra_matgen::with_decay_rank(&base, 1e-6, er, 2);
+    let sv = singular_values(&a.to_dense());
+    // At tau = 1e-3 (half the decay range in log scale) the minimum
+    // rank should be near er/2, certainly well below n.
+    let k = min_rank_for_tolerance(&sv, 1e-3);
+    assert!(k > er / 6, "decay too fast: rank {k}");
+    assert!(k < 2 * er, "decay too slow: rank {k}");
+}
+
+#[test]
+fn decay_rank_independent_of_n() {
+    // Same effective rank, different matrix sizes: the rank needed at a
+    // tolerance should track er, not n.
+    let er = 60;
+    let mut ranks = Vec::new();
+    for (n, seed) in [(200usize, 3u64), (500, 4)] {
+        let a = lra_matgen::with_decay_rank(&lra_matgen::circuit(n, 4, 2, seed), 1e-6, er, seed);
+        let sv = singular_values(&a.to_dense());
+        ranks.push(min_rank_for_tolerance(&sv, 1e-3));
+    }
+    let (r1, r2) = (ranks[0] as f64, ranks[1] as f64);
+    assert!(
+        (r1 - r2).abs() / r1.max(r2) < 0.6,
+        "ranks should be comparable: {ranks:?}"
+    );
+}
+
+#[test]
+fn families_have_distinct_structure() {
+    let n = 300;
+    let fem = lra_matgen::fem2d(18, 17, 5);
+    let fluid = lra_matgen::fluid_block(15, 20, 6);
+    let circ = lra_matgen::circuit(n, 4, 5, 7);
+    let econ = lra_matgen::economic(n, 6, 8);
+    // Fluid is by far the densest per row (the fill-in driver).
+    assert!(fluid.nnz_per_row() > 3.0 * fem.nnz_per_row());
+    assert!(fluid.nnz_per_row() > 3.0 * circ.nnz_per_row());
+    // Circuit has the most skewed degree distribution.
+    let skew = |a: &lra_sparse::CscMatrix| {
+        let d = a.col_degrees();
+        let max = *d.iter().max().unwrap() as f64;
+        let mean = d.iter().sum::<usize>() as f64 / d.len() as f64;
+        max / mean
+    };
+    assert!(skew(&circ) > skew(&econ), "{} vs {}", skew(&circ), skew(&econ));
+}
+
+#[test]
+fn presets_are_deterministic_and_consistent() {
+    let a1 = lra_matgen::m3(1);
+    let a2 = lra_matgen::m3(1);
+    assert_eq!(a1.a, a2.a);
+    assert_eq!(a1.label, "M3'");
+    // Scale grows the matrix.
+    let big = lra_matgen::m1(2);
+    assert!(big.a.rows() > lra_matgen::m1(1).a.rows() * 3);
+}
+
+#[test]
+fn suite_contains_effectively_low_rank_members() {
+    // The spectrum-family members must have a sharp numerical rank,
+    // mirroring the genuinely singular matrices of the SJSU database.
+    let suite = lra_matgen::suite();
+    let mut found = 0;
+    for tm in suite.iter().filter(|t| t.name == "spectrum").take(5) {
+        let sv = singular_values(&tm.a.to_dense());
+        let nrank = sv
+            .iter()
+            .take_while(|&&x| x > sv[0] * 1e-12)
+            .count();
+        if nrank < tm.a.cols() / 2 {
+            found += 1;
+        }
+    }
+    assert!(found >= 3, "expected low-rank suite members, found {found}");
+}

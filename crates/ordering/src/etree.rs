@@ -1,0 +1,162 @@
+//! Column elimination tree and postorder (Liu's algorithm, after
+//! CSparse `cs_etree` / `cs_post`).
+//!
+//! The paper preprocesses the input with COLAMD *followed by a
+//! postorder traversal of its column elimination tree* (Section V);
+//! this module provides the second half of that pipeline.
+
+use lra_sparse::CscMatrix;
+
+/// Sentinel for "no parent".
+pub const NO_PARENT: usize = usize::MAX;
+
+/// Column elimination tree of `A` (the elimination tree of `A^T A`,
+/// computed without forming it). Returns `parent[j]` per column,
+/// `NO_PARENT` for roots.
+pub fn column_etree(a: &CscMatrix) -> Vec<usize> {
+    let n = a.cols();
+    let m = a.rows();
+    let mut parent = vec![NO_PARENT; n];
+    let mut ancestor = vec![NO_PARENT; n];
+    // prev[i] = last column seen with a nonzero in row i.
+    let mut prev = vec![NO_PARENT; m];
+    for k in 0..n {
+        let (ri, _) = a.col(k);
+        for &row in ri {
+            let mut i = prev[row];
+            // Walk up with path compression.
+            while i != NO_PARENT && i < k {
+                let inext = ancestor[i];
+                ancestor[i] = k;
+                if inext == NO_PARENT {
+                    parent[i] = k;
+                }
+                i = inext;
+            }
+            prev[row] = k;
+        }
+    }
+    parent
+}
+
+/// Postorder of a forest given by `parent` (children visited before
+/// parents; children of a node visited in ascending index order).
+/// Returns `post` with `post[p]` = node visited at position `p`.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    // Build child lists (descending pushes so pop order is ascending).
+    let mut head = vec![NO_PARENT; n];
+    let mut next = vec![NO_PARENT; n];
+    for j in (0..n).rev() {
+        let p = parent[j];
+        if p != NO_PARENT {
+            next[j] = head[p];
+            head[p] = j;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack = Vec::new();
+    for root in 0..n {
+        if parent[root] != NO_PARENT {
+            continue;
+        }
+        stack.push(root);
+        while let Some(&node) = stack.last() {
+            let child = head[node];
+            if child == NO_PARENT {
+                stack.pop();
+                post.push(node);
+            } else {
+                head[node] = next[child];
+                stack.push(child);
+            }
+        }
+    }
+    post
+}
+
+/// Postorder of the column elimination tree of `a`, as a column
+/// permutation (`perm[p]` = original column placed at position `p`).
+pub fn etree_postorder(a: &CscMatrix) -> Vec<usize> {
+    postorder(&column_etree(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lra_sparse::CooMatrix;
+
+    fn from_triplets(m: usize, n: usize, t: &[(usize, usize)]) -> CscMatrix {
+        let mut coo = CooMatrix::new(m, n);
+        for &(i, j) in t {
+            coo.push(i, j, 1.0);
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn chain_matrix_etree_is_a_path() {
+        // Bidiagonal pattern: column j and j+1 share row j, so
+        // parent[j] = j + 1 for all j < n-1.
+        let n = 6;
+        let mut t = Vec::new();
+        for j in 0..n {
+            t.push((j, j));
+            if j + 1 < n {
+                t.push((j, j + 1));
+            }
+        }
+        let a = from_triplets(n, n, &t);
+        let parent = column_etree(&a);
+        for j in 0..n - 1 {
+            assert_eq!(parent[j], j + 1);
+        }
+        assert_eq!(parent[n - 1], NO_PARENT);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_a_forest_of_singletons() {
+        let a = CscMatrix::identity(5);
+        let parent = column_etree(&a);
+        assert!(parent.iter().all(|&p| p == NO_PARENT));
+        let post = postorder(&parent);
+        assert_eq!(post, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn postorder_children_before_parents() {
+        // Star: columns 0..4 all share row with column 4 -> parent 4.
+        let t = [(0, 0), (0, 4), (1, 1), (1, 4), (2, 2), (2, 4), (3, 3), (3, 4), (4, 4)];
+        let a = from_triplets(5, 5, &t);
+        let parent = column_etree(&a);
+        let post = postorder(&parent);
+        assert_eq!(post.len(), 5);
+        let mut position = [0usize; 5];
+        for (p, &node) in post.iter().enumerate() {
+            position[node] = p;
+        }
+        for j in 0..5 {
+            if parent[j] != NO_PARENT {
+                assert!(position[j] < position[parent[j]], "child after parent");
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_is_permutation() {
+        let t = [
+            (0, 0),
+            (0, 2),
+            (1, 1),
+            (1, 2),
+            (2, 3),
+            (3, 3),
+            (3, 4),
+            (2, 0),
+        ];
+        let a = from_triplets(4, 5, &t);
+        let mut post = etree_postorder(&a);
+        post.sort_unstable();
+        assert_eq!(post, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,16 @@
+#![allow(clippy::needless_range_loop)] // indexing parallel arrays is clearest in these kernels
+//! Fill-reducing orderings for sparse factorizations.
+//!
+//! The paper permutes the input matrix with COLAMD followed by a
+//! postorder traversal of its column elimination tree before running
+//! LU_CRTP (Section V); Fig. 1 ablates COLAMD off / on-first-iteration /
+//! on-every-iteration. This crate provides those pieces: a simplified
+//! COLAMD ([`colamd`]), the column elimination tree and its postorder
+//! ([`column_etree`], [`postorder`]), and the composed pipeline
+//! ([`fill_reducing_order`]).
+
+mod colamd;
+mod etree;
+
+pub use colamd::{colamd, fill_reducing_order};
+pub use etree::{column_etree, etree_postorder, postorder, NO_PARENT};

@@ -1,0 +1,452 @@
+//! Minimal data-parallel substrate built on `crossbeam` scoped threads.
+//!
+//! The paper's implementations run on MPI; this crate provides the
+//! shared-memory work-sharing layer used by the dense/sparse kernels
+//! (the SPMD rank model lives in `lra-comm`). Parallelism is always
+//! explicit: every parallel entry point takes a [`Parallelism`] handle
+//! carrying the worker count `np`, so benchmark harnesses can sweep
+//! process counts deterministically (Figs. 4-6 of the paper).
+//!
+//! No rayon: work distribution is a shared atomic chunk counter drained
+//! by `np` scoped worker threads, which is sufficient for the regular,
+//! coarse-grained loops in this project.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod record;
+pub use record::{is_recording, label_scope, Profile};
+
+/// Degree of parallelism to use for a kernel invocation.
+///
+/// `np == 1` executes inline on the calling thread with zero overhead,
+/// so sequential baselines measured in the benchmarks are true
+/// sequential runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    np: usize,
+}
+
+impl Parallelism {
+    /// Sequential execution.
+    pub const SEQ: Parallelism = Parallelism { np: 1 };
+
+    /// Use exactly `np` workers (clamped to at least 1).
+    pub fn new(np: usize) -> Self {
+        Parallelism { np: np.max(1) }
+    }
+
+    /// Sequential execution (same as [`Parallelism::SEQ`]).
+    pub fn seq() -> Self {
+        Self::SEQ
+    }
+
+    /// One worker per available hardware thread.
+    pub fn full() -> Self {
+        Self::new(available_parallelism())
+    }
+
+    /// Number of workers.
+    #[inline]
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// True if this handle requests more than one worker.
+    #[inline]
+    pub fn is_parallel(&self) -> bool {
+        self.np > 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::SEQ
+    }
+}
+
+/// Number of hardware threads reported by the OS (at least 1).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Split `0..n` into `parts` contiguous ranges whose lengths differ by at
+/// most one. Returns fewer than `parts` ranges when `n < parts`; never
+/// returns empty ranges.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Run `body` over every index chunk of `0..n`, using up to `par.np()`
+/// workers. Chunks have length `grain` (the final chunk may be shorter)
+/// and are claimed dynamically from a shared counter, so irregular
+/// per-chunk costs (e.g. sparse columns of very different lengths)
+/// balance automatically.
+///
+/// `body` receives a half-open index range and must be safe to run
+/// concurrently on disjoint ranges.
+pub fn parallel_for<F>(par: Parallelism, n: usize, grain: usize, body: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    if record::is_recording() {
+        let top = record::enter_region();
+        let chunks = if top {
+            record::run_recorded(n, grain, &body)
+        } else {
+            body(0..n);
+            Vec::new()
+        };
+        record::leave_region(chunks);
+        return;
+    }
+    let grain = grain.max(1);
+    let nchunks = n.div_ceil(grain);
+    let workers = par.np().min(nchunks);
+    if workers <= 1 {
+        body(0..n);
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    crossbeam_utils::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= nchunks {
+                    break;
+                }
+                let start = c * grain;
+                let end = (start + grain).min(n);
+                body(start..end);
+            });
+        }
+    })
+    .expect("parallel_for worker panicked");
+}
+
+/// Map every chunk of `0..n` through `body` and combine the per-chunk
+/// results with `fold`, starting from `init`. The combination order is
+/// deterministic (ascending chunk index), so floating-point reductions
+/// are reproducible for a fixed `(n, grain)` regardless of `np`.
+pub fn parallel_map_fold<T, F, G>(
+    par: Parallelism,
+    n: usize,
+    grain: usize,
+    init: T,
+    body: F,
+    mut fold: G,
+) -> T
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+    G: FnMut(T, T) -> T,
+{
+    if n == 0 {
+        return init;
+    }
+    let grain = grain.max(1);
+    if record::is_recording() {
+        let top = record::enter_region();
+        let mut chunks = Vec::new();
+        let mut acc = init;
+        let mut start = 0;
+        while start < n {
+            let end = (start + grain).min(n);
+            let t = std::time::Instant::now();
+            let val = body(start..end);
+            if top {
+                chunks.push(t.elapsed().as_secs_f64());
+            }
+            acc = fold(acc, val);
+            start = end;
+        }
+        record::leave_region(chunks);
+        return acc;
+    }
+    let nchunks = n.div_ceil(grain);
+    let workers = par.np().min(nchunks);
+    if workers <= 1 {
+        let mut acc = init;
+        let mut start = 0;
+        while start < n {
+            let end = (start + grain).min(n);
+            acc = fold(acc, body(start..end));
+            start = end;
+        }
+        return acc;
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(nchunks);
+    slots.resize_with(nchunks, || None);
+    {
+        let slots_ptr = SendPtr(slots.as_mut_ptr());
+        let next = AtomicUsize::new(0);
+        crossbeam_utils::thread::scope(|scope| {
+            for _ in 0..workers {
+                let next = &next;
+                let body = &body;
+                scope.spawn(move |_| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    let start = c * grain;
+                    let end = (start + grain).min(n);
+                    let val = body(start..end);
+                    // SAFETY: each chunk index `c` is claimed by exactly one
+                    // worker, so writes to slot `c` never alias.
+                    unsafe { *slots_ptr.get().add(c) = Some(val) };
+                });
+            }
+        })
+        .expect("parallel_map_fold worker panicked");
+    }
+    let mut acc = init;
+    for slot in slots {
+        acc = fold(acc, slot.expect("chunk result missing"));
+    }
+    acc
+}
+
+/// Run `body` once per disjoint mutable chunk of `data` (chunk size
+/// `grain`), in parallel. `body` receives the chunk index and the chunk.
+pub fn parallel_chunks_mut<T, F>(par: Parallelism, data: &mut [T], grain: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let grain = grain.max(1);
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    if record::is_recording() {
+        let top = record::enter_region();
+        let mut chunks = Vec::new();
+        for (c, chunk) in data.chunks_mut(grain).enumerate() {
+            let t = std::time::Instant::now();
+            body(c, chunk);
+            if top {
+                chunks.push(t.elapsed().as_secs_f64());
+            }
+        }
+        record::leave_region(chunks);
+        return;
+    }
+    let nchunks = n.div_ceil(grain);
+    let workers = par.np().min(nchunks);
+    if workers <= 1 {
+        for (c, chunk) in data.chunks_mut(grain).enumerate() {
+            body(c, chunk);
+        }
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+    crossbeam_utils::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let body = &body;
+            scope.spawn(move |_| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= nchunks {
+                    break;
+                }
+                let start = c * grain;
+                let len = grain.min(n - start);
+                // SAFETY: chunks [start, start+len) are disjoint across
+                // distinct chunk indices, and each index is claimed once.
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), len) };
+                body(c, chunk);
+            });
+        }
+    })
+    .expect("parallel_chunks_mut worker panicked");
+}
+
+/// Run two closures potentially in parallel and return both results.
+pub fn join<A, B, RA, RB>(par: Parallelism, a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if !par.is_parallel() {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    crossbeam_utils::thread::scope(|scope| {
+        let hb = scope.spawn(|_| b());
+        let ra = a();
+        let rb = hb.join().expect("join worker panicked");
+        (ra, rb)
+    })
+    .expect("join scope panicked")
+}
+
+/// Raw pointer wrapper that is `Send`/`Sync`; used only for writes to
+/// provably disjoint regions.
+struct SendPtr<T>(*mut T);
+// Manual impls: `derive(Copy)` would demand `T: Copy`, but only the
+// pointer is copied.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor that forces closures to capture the whole wrapper
+    /// (edition-2021 closures would otherwise capture the raw pointer
+    /// field directly and lose the `Send` impl).
+    #[inline]
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        for n in [0usize, 1, 2, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(n, parts);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(!r.is_empty());
+                    expect = r.end;
+                }
+                if n > 0 {
+                    let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let min = lens.iter().min().unwrap();
+                    let max = lens.iter().max().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_visits_each_index_once() {
+        let n = 10_000;
+        let counters: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_for(Parallelism::new(8), n, 13, |range| {
+            for i in range {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_sequential_matches() {
+        let n = 1000;
+        let sum = AtomicU64::new(0);
+        parallel_for(Parallelism::SEQ, n, 7, |range| {
+            for i in range {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn parallel_map_fold_deterministic_order() {
+        // Floating point sum must be identical across np because fold
+        // order is chunk-index order.
+        let n = 5000;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64).sin() * 1e-3).collect();
+        let sum_with = |np: usize| {
+            parallel_map_fold(
+                Parallelism::new(np),
+                n,
+                64,
+                0.0f64,
+                |r| r.map(|i| data[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+        };
+        let s1 = sum_with(1);
+        for np in [2, 3, 8] {
+            assert_eq!(s1.to_bits(), sum_with(np).to_bits(), "np={np}");
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_mut_writes_disjoint() {
+        let mut data = vec![0usize; 1003];
+        parallel_chunks_mut(Parallelism::new(4), &mut data, 17, |c, chunk| {
+            for (off, x) in chunk.iter_mut().enumerate() {
+                *x = c * 17 + off;
+            }
+        });
+        for (i, x) in data.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(Parallelism::new(2), || 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+        let (a, b) = join(Parallelism::SEQ, || 3, || 4);
+        assert_eq!((a, b), (3, 4));
+    }
+
+    #[test]
+    fn zero_length_inputs_are_noops() {
+        parallel_for(Parallelism::new(4), 0, 8, |_| panic!("must not run"));
+        let out = parallel_map_fold(
+            Parallelism::new(4),
+            0,
+            8,
+            42,
+            |_| panic!("must not run"),
+            |a: i32, b: i32| a + b,
+        );
+        assert_eq!(out, 42);
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_chunks_mut(Parallelism::new(4), &mut empty, 8, |_, _| {
+            panic!("must not run")
+        });
+    }
+
+    #[test]
+    fn parallelism_clamps_to_one() {
+        assert_eq!(Parallelism::new(0).np(), 1);
+        assert!(!Parallelism::new(0).is_parallel());
+        assert!(Parallelism::new(2).is_parallel());
+        assert!(available_parallelism() >= 1);
+    }
+}

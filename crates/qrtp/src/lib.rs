@@ -1,0 +1,22 @@
+#![allow(clippy::needless_range_loop)] // indexing parallel arrays is clearest in these kernels
+//! QR with tournament pivoting (QR_TP) — the rank-revealing engine of
+//! LU_CRTP / ILUT_CRTP.
+//!
+//! Two drivers are provided over one node kernel (QRCP of a panel `R`
+//! factor computed by memory-bounded incremental QR):
+//! - [`tournament_columns`]: shared-memory, leaves processed with
+//!   `lra-par` workers (flat or binary tree);
+//! - [`tournament_columns_spmd`]: rank-distributed over the `lra-comm`
+//!   SPMD runtime, mirroring the paper's MPI reduction tree with its
+//!   communication-free local stage and `log2(P)` global stage.
+
+mod source;
+mod spmd;
+mod tournament;
+
+pub use source::ColumnSource;
+pub use spmd::tournament_columns_spmd;
+pub use tournament::{
+    panel_r, panel_r_gram, tournament_columns, tournament_rows_dense, ColumnSelection,
+    TournamentTree,
+};

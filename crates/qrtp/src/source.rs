@@ -1,0 +1,59 @@
+//! Column sources: the abstraction tournament pivoting runs over.
+//!
+//! The column tournament of LU_CRTP selects from the columns of the
+//! sparse Schur complement `A^(i)`; the row tournament selects from the
+//! columns of the dense `Q_k^T`. Both are "a bag of columns you can
+//! gather into dense panels", captured by [`ColumnSource`].
+
+use lra_dense::DenseMatrix;
+use lra_sparse::CscMatrix;
+
+/// A matrix whose columns can be gathered into dense panels chunk by
+/// chunk (rows `lo..hi`), without materializing the whole panel.
+pub trait ColumnSource: Sync {
+    /// Number of rows.
+    fn rows(&self) -> usize;
+    /// Number of columns.
+    fn cols(&self) -> usize;
+    /// Gather rows `row_range` of the given columns into a dense block
+    /// of shape `row_range.len() x idx.len()`.
+    fn gather(&self, idx: &[usize], row_range: std::ops::Range<usize>) -> DenseMatrix;
+    /// Total number of stored entries in the given columns (used to
+    /// size row chunks; dense sources return `rows * idx.len()`).
+    fn gather_nnz(&self, idx: &[usize]) -> usize;
+}
+
+impl ColumnSource for CscMatrix {
+    fn rows(&self) -> usize {
+        CscMatrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        CscMatrix::cols(self)
+    }
+    fn gather(&self, idx: &[usize], row_range: std::ops::Range<usize>) -> DenseMatrix {
+        self.gather_columns_rows_dense(idx, row_range)
+    }
+    fn gather_nnz(&self, idx: &[usize]) -> usize {
+        idx.iter().map(|&j| self.col_nnz(j)).sum()
+    }
+}
+
+impl ColumnSource for DenseMatrix {
+    fn rows(&self) -> usize {
+        DenseMatrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        DenseMatrix::cols(self)
+    }
+    fn gather(&self, idx: &[usize], row_range: std::ops::Range<usize>) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(row_range.len(), idx.len());
+        for (dst, &j) in idx.iter().enumerate() {
+            let src = &self.col(j)[row_range.clone()];
+            out.col_mut(dst).copy_from_slice(src);
+        }
+        out
+    }
+    fn gather_nnz(&self, idx: &[usize]) -> usize {
+        self.rows() * idx.len()
+    }
+}

@@ -1,0 +1,184 @@
+//! Rank-distributed tournament pivoting over the `lra-comm` SPMD
+//! runtime — the direct port of the paper's MPI reduction tree
+//! (Section V).
+//!
+//! Each rank owns a contiguous block of candidate columns and reduces
+//! them to `k` winners with *no communication* (the local stage); the
+//! winners then compete pairwise over `log2(P)` message rounds (the
+//! global stage). Only column indices travel between ranks — the matrix
+//! itself is shared read-only, matching the paper's observation that
+//! the selected columns are gathered where needed.
+
+use crate::source::ColumnSource;
+use crate::tournament::{tournament_columns, ColumnSelection, TournamentTree};
+use lra_comm::Ctx;
+use lra_dense::qrcp;
+use lra_par::{split_ranges, Parallelism};
+
+/// Tag for tournament winner exchanges.
+const TAG_WINNERS: u64 = 0x7101;
+
+/// SPMD column tournament: every rank calls this with the same
+/// arguments; every rank returns the same [`ColumnSelection`].
+pub fn tournament_columns_spmd<S: ColumnSource + ?Sized>(
+    ctx: &Ctx,
+    src: &S,
+    candidates: Option<&[usize]>,
+    k: usize,
+) -> ColumnSelection {
+    let all: Vec<usize>;
+    let cand: &[usize] = match candidates {
+        Some(c) => c,
+        None => {
+            all = (0..src.cols()).collect();
+            &all
+        }
+    };
+    let size = ctx.size();
+    let rank = ctx.rank();
+    let ranges = split_ranges(cand.len(), size);
+    // Local reduction: communication-free.
+    let mut winners: Vec<usize> = if rank < ranges.len() && !ranges[rank].is_empty() {
+        let own = &cand[ranges[rank].clone()];
+        if own.len() <= k {
+            own.to_vec()
+        } else {
+            tournament_columns(src, Some(own), k, TournamentTree::Binary, Parallelism::SEQ)
+                .selected
+        }
+    } else {
+        Vec::new()
+    };
+    // Global binomial reduction: log2(P) rounds of pairwise merges.
+    let mut mask = 1usize;
+    while mask < size {
+        if rank & mask == 0 {
+            let peer = rank | mask;
+            if peer < size {
+                let theirs: Vec<usize> = ctx.recv(peer, TAG_WINNERS);
+                if !theirs.is_empty() {
+                    let mut merged = winners.clone();
+                    merged.extend_from_slice(&theirs);
+                    winners = node_select(src, &merged, k).0;
+                }
+            }
+        } else {
+            let parent = rank & !mask;
+            ctx.send(parent, TAG_WINNERS, winners.clone());
+            winners.clear();
+            break;
+        }
+        mask <<= 1;
+    }
+    // Root ranks the final winners (also producing r_diag) and
+    // broadcasts the result.
+    let result = if rank == 0 {
+        let (selected, r_diag) = node_select(src, &winners, k);
+        (selected, r_diag)
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let (selected, r_diag) = ctx.broadcast(0, result);
+    ColumnSelection { selected, r_diag }
+}
+
+/// One tournament node: rank candidate columns via QRCP of the panel R.
+fn node_select<S: ColumnSource + ?Sized>(
+    src: &S,
+    idx: &[usize],
+    k: usize,
+) -> (Vec<usize>, Vec<f64>) {
+    let r = crate::tournament::panel_r(src, idx, Parallelism::SEQ);
+    let f = qrcp(&r, k);
+    let sel: Vec<usize> = f.perm[..f.steps.min(k)].iter().map(|&p| idx[p]).collect();
+    (sel, f.r_diag())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lra_dense::{matmul, singular_values, DenseMatrix};
+    use lra_sparse::{CooMatrix, CscMatrix};
+
+    fn rand_sparse(rows: usize, cols: usize, per_col: usize, seed: u64) -> CscMatrix {
+        let mut state = seed.wrapping_mul(0x517CC1B727220A95) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        let mut coo = CooMatrix::new(rows, cols);
+        for j in 0..cols {
+            for _ in 0..per_col {
+                let r = (next() % rows as u64) as usize;
+                let v = ((next() >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+                coo.push(r, j, v);
+            }
+        }
+        coo.to_csc()
+    }
+
+    fn rand_dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        DenseMatrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn all_ranks_agree() {
+        let a = rand_sparse(100, 48, 4, 1);
+        for np in [1usize, 2, 4, 7] {
+            let results = lra_comm::run(np, |ctx| {
+                tournament_columns_spmd(ctx, &a, None, 8).selected
+            });
+            for r in &results[1..] {
+                assert_eq!(r, &results[0], "np={np}: ranks disagree");
+            }
+            assert_eq!(results[0].len(), 8);
+            let mut s = results[0].clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 8);
+        }
+    }
+
+    #[test]
+    fn spmd_finds_independent_columns() {
+        let base = rand_dense(60, 5, 2);
+        let mix = rand_dense(5, 43, 3);
+        let deps = matmul(&base, &mix, lra_par::Parallelism::SEQ);
+        let full = base.hcat(&deps);
+        let a = CscMatrix::from_dense(&full);
+        let results = lra_comm::run(4, |ctx| {
+            tournament_columns_spmd(ctx, &a, None, 5).selected
+        });
+        let picked = full.select_columns(&results[0]);
+        let sv = singular_values(&picked);
+        assert!(sv[4] > 1e-8, "picked dependent columns: {sv:?}");
+    }
+
+    #[test]
+    fn more_ranks_than_candidates() {
+        let a = rand_sparse(30, 5, 3, 4);
+        let results = lra_comm::run(8, |ctx| {
+            tournament_columns_spmd(ctx, &a, None, 3).selected
+        });
+        assert_eq!(results[0].len(), 3);
+        for r in &results {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn r_diag_broadcast_everywhere() {
+        let a = rand_sparse(64, 32, 4, 5);
+        let results = lra_comm::run(3, |ctx| {
+            tournament_columns_spmd(ctx, &a, None, 4).r_diag
+        });
+        assert!(!results[0].is_empty());
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+}

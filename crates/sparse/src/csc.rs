@@ -1,0 +1,655 @@
+//! Compressed sparse column matrix — the workhorse format.
+//!
+//! Row indices within each column are kept sorted; this invariant is
+//! relied on by the split/merge kernels of LU_CRTP.
+
+use lra_dense::DenseMatrix;
+
+/// Compressed sparse column matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Build from raw CSC parts.
+    ///
+    /// Cheap structural invariants are always checked; sortedness of row
+    /// indices per column is checked in debug builds.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        colptr: Vec<usize>,
+        rowidx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(colptr.len(), cols + 1, "colptr length");
+        assert_eq!(rowidx.len(), values.len(), "rowidx/values length");
+        assert_eq!(*colptr.last().unwrap_or(&0), rowidx.len(), "colptr tail");
+        assert_eq!(colptr.first().copied().unwrap_or(0), 0, "colptr head");
+        debug_assert!(colptr.windows(2).all(|w| w[0] <= w[1]), "colptr monotone");
+        debug_assert!(
+            (0..cols).all(|j| {
+                let s = colptr[j];
+                let e = colptr[j + 1];
+                rowidx[s..e].windows(2).all(|w| w[0] < w[1])
+                    && rowidx[s..e].iter().all(|&r| r < rows)
+            }),
+            "rows sorted, unique, in range"
+        );
+        CscMatrix {
+            rows,
+            cols,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CscMatrix {
+            rows,
+            cols,
+            colptr: vec![0; cols + 1],
+            rowidx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        CscMatrix {
+            rows: n,
+            cols: n,
+            colptr: (0..=n).collect(),
+            rowidx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Convert from dense, dropping exact zeros.
+    pub fn from_dense(a: &DenseMatrix) -> Self {
+        let rows = a.rows();
+        let cols = a.cols();
+        let mut colptr = Vec::with_capacity(cols + 1);
+        colptr.push(0);
+        let mut rowidx = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..cols {
+            for (i, &v) in a.col(j).iter().enumerate() {
+                if v != 0.0 {
+                    rowidx.push(i);
+                    values.push(v);
+                }
+            }
+            colptr.push(rowidx.len());
+        }
+        CscMatrix {
+            rows,
+            cols,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Densify (intended for tests and small blocks).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for j in 0..self.cols {
+            let (ri, vs) = self.col(j);
+            let col = out.col_mut(j);
+            for (&r, &v) in ri.iter().zip(vs) {
+                col[r] = v;
+            }
+        }
+        out
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.rowidx.len()
+    }
+
+    /// `nnz / (rows * cols)` (0 for empty shapes) — the fill-in metric
+    /// of Fig. 1.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// `nnz / rows` — the per-row density ratio of Fig. 1 (right).
+    pub fn nnz_per_row(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.rows as f64
+        }
+    }
+
+    /// Column `j` as `(row_indices, values)`.
+    #[inline]
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let s = self.colptr[j];
+        let e = self.colptr[j + 1];
+        (&self.rowidx[s..e], &self.values[s..e])
+    }
+
+    /// Number of entries in column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.colptr[j + 1] - self.colptr[j]
+    }
+
+    /// Raw column pointer array.
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Raw row index array.
+    pub fn rowidx(&self) -> &[usize] {
+        &self.rowidx
+    }
+
+    /// Raw value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Entry lookup via binary search (O(log nnz(col))).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (ri, vs) = self.col(j);
+        match ri.binary_search(&i) {
+            Ok(p) => vs[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.fro_norm_sq().sqrt()
+    }
+
+    /// Squared Frobenius norm.
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Largest absolute entry (0 when empty).
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// Transposed copy (also serves as the CSR view of `self`).
+    pub fn transpose(&self) -> CscMatrix {
+        let mut counts = vec![0usize; self.rows + 1];
+        for &r in &self.rowidx {
+            counts[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut colptr = counts.clone();
+        let mut rowidx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        let mut cursor = counts;
+        for j in 0..self.cols {
+            let (ri, vs) = self.col(j);
+            for (&r, &v) in ri.iter().zip(vs) {
+                let p = cursor[r];
+                rowidx[p] = j;
+                values[p] = v;
+                cursor[r] += 1;
+            }
+        }
+        // Column-major scan of the source produces ascending j per
+        // target column, so rows are already sorted.
+        colptr.truncate(self.rows + 1);
+        CscMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// New matrix whose column `p` is `self` column `perm[p]`.
+    pub fn select_columns(&self, perm: &[usize]) -> CscMatrix {
+        let mut colptr = Vec::with_capacity(perm.len() + 1);
+        colptr.push(0);
+        let mut rowidx = Vec::new();
+        let mut values = Vec::new();
+        for &j in perm {
+            let (ri, vs) = self.col(j);
+            rowidx.extend_from_slice(ri);
+            values.extend_from_slice(vs);
+            colptr.push(rowidx.len());
+        }
+        CscMatrix {
+            rows: self.rows,
+            cols: perm.len(),
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Apply a row permutation: row `old` of `self` becomes row
+    /// `new_of_old[old]` of the result (a scatter map covering all rows).
+    pub fn permute_rows(&self, new_of_old: &[usize]) -> CscMatrix {
+        assert_eq!(new_of_old.len(), self.rows);
+        let mut colptr = self.colptr.clone();
+        let mut rowidx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut buf: Vec<(usize, f64)> = Vec::new();
+        for j in 0..self.cols {
+            let (ri, vs) = self.col(j);
+            buf.clear();
+            buf.extend(ri.iter().zip(vs).map(|(&r, &v)| (new_of_old[r], v)));
+            buf.sort_unstable_by_key(|&(r, _)| r);
+            for &(r, v) in &buf {
+                rowidx.push(r);
+                values.push(v);
+            }
+            colptr[j + 1] = rowidx.len();
+        }
+        CscMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            colptr,
+            rowidx,
+            values,
+        }
+    }
+
+    /// Gather the given columns into a dense `rows x idx.len()` panel.
+    pub fn gather_columns_dense(&self, idx: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, idx.len());
+        for (dst, &j) in idx.iter().enumerate() {
+            let (ri, vs) = self.col(j);
+            let col = out.col_mut(dst);
+            for (&r, &v) in ri.iter().zip(vs) {
+                col[r] = v;
+            }
+        }
+        out
+    }
+
+    /// Gather rows `row_range` of the given columns into a dense panel
+    /// of shape `row_range.len() x idx.len()` (the chunked densify used
+    /// by R-only TSQR on sparse panels).
+    pub fn gather_columns_rows_dense(
+        &self,
+        idx: &[usize],
+        row_range: std::ops::Range<usize>,
+    ) -> DenseMatrix {
+        let h = row_range.len();
+        let mut out = DenseMatrix::zeros(h, idx.len());
+        for (dst, &j) in idx.iter().enumerate() {
+            let (ri, vs) = self.col(j);
+            let start = ri.partition_point(|&r| r < row_range.start);
+            let col = out.col_mut(dst);
+            for p in start..ri.len() {
+                let r = ri[p];
+                if r >= row_range.end {
+                    break;
+                }
+                col[r - row_range.start] = vs[p];
+            }
+        }
+        out
+    }
+
+    /// Drop every entry with `|value| < threshold`; returns the dropped
+    /// squared Frobenius mass and count (the `||T̃^(i)||_F^2` bookkeeping
+    /// of ILUT_CRTP, Algorithm 3, lines 8-9).
+    pub fn drop_below(&self, threshold: f64) -> (CscMatrix, f64, usize) {
+        let mut colptr = Vec::with_capacity(self.cols + 1);
+        colptr.push(0);
+        let mut rowidx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut dropped_sq = 0.0;
+        let mut dropped = 0usize;
+        for j in 0..self.cols {
+            let (ri, vs) = self.col(j);
+            for (&r, &v) in ri.iter().zip(vs) {
+                if v.abs() < threshold {
+                    dropped_sq += v * v;
+                    dropped += 1;
+                } else {
+                    rowidx.push(r);
+                    values.push(v);
+                }
+            }
+            colptr.push(rowidx.len());
+        }
+        (
+            CscMatrix {
+                rows: self.rows,
+                cols: self.cols,
+                colptr,
+                rowidx,
+                values,
+            },
+            dropped_sq,
+            dropped,
+        )
+    }
+
+    /// Sorted magnitudes of all entries below `cap` (ascending). Powers
+    /// the "aggressive" sorted-drop thresholding variant of Section VI-A.
+    pub fn small_entry_magnitudes(&self, cap: f64) -> Vec<f64> {
+        let mut v: Vec<f64> = self
+            .values
+            .iter()
+            .map(|x| x.abs())
+            .filter(|&x| x < cap)
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Split into the four blocks of Algorithm 2, line 8, given the
+    /// pivot row positions (`k` of them, in pivot order) and pivot
+    /// column positions.
+    ///
+    /// Returns `(a11, a12, a21, a22, rest_rows, rest_cols)` where
+    /// `a11` is dense `k x k`, the other blocks are CSC with rows and
+    /// columns renumbered (pivot order first, remaining order after),
+    /// and `rest_rows`/`rest_cols` map the renumbered trailing indices
+    /// back to positions in `self`.
+    #[allow(clippy::type_complexity)]
+    pub fn split_blocks(
+        &self,
+        pivot_rows: &[usize],
+        pivot_cols: &[usize],
+    ) -> (DenseMatrix, CscMatrix, CscMatrix, CscMatrix, Vec<usize>, Vec<usize>) {
+        let k = pivot_rows.len();
+        assert_eq!(pivot_cols.len(), k);
+        let m = self.rows;
+        let n = self.cols;
+        const UNSET: usize = usize::MAX;
+        // Row classification: pivot rows -> 0..k, rest -> 0..m-k.
+        let mut row_new = vec![UNSET; m];
+        for (p, &r) in pivot_rows.iter().enumerate() {
+            assert!(row_new[r] == UNSET, "duplicate pivot row");
+            row_new[r] = p;
+        }
+        let mut rest_rows = Vec::with_capacity(m - k);
+        for r in 0..m {
+            if row_new[r] == UNSET {
+                row_new[r] = k + rest_rows.len();
+                rest_rows.push(r);
+            }
+        }
+        let mut col_is_pivot = vec![false; n];
+        for &c in pivot_cols {
+            assert!(!col_is_pivot[c], "duplicate pivot column");
+            col_is_pivot[c] = true;
+        }
+        let rest_cols: Vec<usize> = (0..n).filter(|&c| !col_is_pivot[c]).collect();
+
+        let mut a11 = DenseMatrix::zeros(k, k);
+        let mut a21 = SparseBuilder::new(m - k, k);
+        let mut a12 = SparseBuilder::new(k, n - k);
+        let mut a22 = SparseBuilder::new(m - k, n - k);
+        let mut buf_top: Vec<(usize, f64)> = Vec::new();
+        let mut buf_bot: Vec<(usize, f64)> = Vec::new();
+        for (p, &c) in pivot_cols.iter().enumerate() {
+            let (ri, vs) = self.col(c);
+            buf_bot.clear();
+            for (&r, &v) in ri.iter().zip(vs) {
+                let nr = row_new[r];
+                if nr < k {
+                    a11.set(nr, p, v);
+                } else {
+                    buf_bot.push((nr - k, v));
+                }
+            }
+            buf_bot.sort_unstable_by_key(|&(r, _)| r);
+            a21.push_col(&buf_bot);
+        }
+        for &c in &rest_cols {
+            let (ri, vs) = self.col(c);
+            buf_top.clear();
+            buf_bot.clear();
+            for (&r, &v) in ri.iter().zip(vs) {
+                let nr = row_new[r];
+                if nr < k {
+                    buf_top.push((nr, v));
+                } else {
+                    buf_bot.push((nr - k, v));
+                }
+            }
+            buf_top.sort_unstable_by_key(|&(r, _)| r);
+            buf_bot.sort_unstable_by_key(|&(r, _)| r);
+            a12.push_col(&buf_top);
+            a22.push_col(&buf_bot);
+        }
+        (
+            a11,
+            a12.finish(),
+            a21.finish(),
+            a22.finish(),
+            rest_rows,
+            rest_cols,
+        )
+    }
+
+    /// Per-column nnz counts (degree vector used by the orderings).
+    pub fn col_degrees(&self) -> Vec<usize> {
+        (0..self.cols).map(|j| self.col_nnz(j)).collect()
+    }
+
+    /// Scale all values by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.values {
+            *v *= alpha;
+        }
+    }
+}
+
+/// Incremental column-by-column CSC builder (rows must be pushed
+/// sorted within each column).
+pub struct SparseBuilder {
+    rows: usize,
+    colptr: Vec<usize>,
+    rowidx: Vec<usize>,
+    values: Vec<f64>,
+    target_cols: usize,
+}
+
+impl SparseBuilder {
+    /// Builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let mut colptr = Vec::with_capacity(cols + 1);
+        colptr.push(0);
+        SparseBuilder {
+            rows,
+            colptr,
+            rowidx: Vec::new(),
+            values: Vec::new(),
+            target_cols: cols,
+        }
+    }
+
+    /// Append the next column from sorted `(row, value)` pairs
+    /// (zero values skipped).
+    pub fn push_col(&mut self, entries: &[(usize, f64)]) {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        for &(r, v) in entries {
+            debug_assert!(r < self.rows);
+            if v != 0.0 {
+                self.rowidx.push(r);
+                self.values.push(v);
+            }
+        }
+        self.colptr.push(self.rowidx.len());
+    }
+
+    /// Finish; panics if the declared column count was not reached.
+    pub fn finish(self) -> CscMatrix {
+        assert_eq!(
+            self.colptr.len() - 1,
+            self.target_cols,
+            "SparseBuilder: wrong number of columns pushed"
+        );
+        CscMatrix::from_parts(self.rows, self.target_cols, self.colptr, self.rowidx, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        CscMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 4.0, 3.0, 2.0, 5.0],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let a = sample();
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 0), 0.0);
+        assert_eq!(a.get(2, 2), 5.0);
+        assert!((a.fro_norm_sq() - (1.0 + 16.0 + 9.0 + 4.0 + 25.0)).abs() < 1e-14);
+        assert_eq!(a.max_abs(), 5.0);
+        assert!((a.density() - 5.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let a = sample();
+        let d = a.to_dense();
+        let back = CscMatrix::from_dense(&d);
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = sample();
+        let t = a.transpose();
+        assert_eq!(t.get(0, 2), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn select_columns_reorders() {
+        let a = sample();
+        let s = a.select_columns(&[2, 0]);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn permute_rows_scatter() {
+        let a = sample();
+        // old row 0 -> new 2, 1 -> 0, 2 -> 1.
+        let p = a.permute_rows(&[2, 0, 1]);
+        assert_eq!(p.get(2, 0), 1.0);
+        assert_eq!(p.get(0, 1), 3.0);
+        assert_eq!(p.get(1, 2), 5.0);
+        assert_eq!(p.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn drop_below_tracks_mass() {
+        let a = sample();
+        let (d, mass, count) = a.drop_below(2.5);
+        assert_eq!(count, 2); // entries 1.0 and 2.0
+        assert!((mass - 5.0).abs() < 1e-14);
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(d.get(2, 0), 4.0);
+    }
+
+    #[test]
+    fn gather_columns_rows_dense_chunk() {
+        let a = sample();
+        let p = a.gather_columns_rows_dense(&[0, 2], 1..3);
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.get(1, 0), 4.0); // row 2 of col 0
+        assert_eq!(p.get(0, 1), 0.0); // row 1 of col 2
+        assert_eq!(p.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn split_blocks_shapes_and_values() {
+        let a = sample();
+        // Pivot row 2, pivot column 0 (k = 1).
+        let (a11, a12, a21, a22, rest_rows, rest_cols) = a.split_blocks(&[2], &[0]);
+        assert_eq!(a11.get(0, 0), 4.0);
+        assert_eq!(rest_rows, vec![0, 1]);
+        assert_eq!(rest_cols, vec![1, 2]);
+        // a12 = row 2 of columns 1,2 = [0 5]
+        assert_eq!(a12.get(0, 1), 5.0);
+        assert_eq!(a12.nnz(), 1);
+        // a21 = rows 0,1 of column 0 = [1; 0]
+        assert_eq!(a21.get(0, 0), 1.0);
+        assert_eq!(a21.nnz(), 1);
+        // a22 = rows 0,1 x cols 1,2 = [0 2; 3 0]
+        assert_eq!(a22.get(0, 1), 2.0);
+        assert_eq!(a22.get(1, 0), 3.0);
+        assert_eq!(a22.nnz(), 2);
+    }
+
+    #[test]
+    fn small_entry_magnitudes_sorted() {
+        let a = sample();
+        let mags = a.small_entry_magnitudes(4.5);
+        assert_eq!(mags, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = CscMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.get(3, 3), 1.0);
+        let z = CscMatrix::zeros(3, 5);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.fro_norm(), 0.0);
+    }
+
+    #[test]
+    fn builder_counts_columns() {
+        let mut b = SparseBuilder::new(3, 2);
+        b.push_col(&[(0, 1.0), (2, -1.0)]);
+        b.push_col(&[]);
+        let m = b.finish();
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.nnz(), 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Compressed sparse row matrix.
+//!
+//! CSC is the primary format of this stack (the algorithms are
+//! column-oriented, matching the paper's block-column distributions),
+//! but row-major access patterns — row gathers for the `L21` solve,
+//! row-wise SpGEMM, row-distributed SpMV — are natural in CSR. The two
+//! formats convert losslessly in O(nnz).
+
+use crate::CscMatrix;
+
+/// Compressed sparse row matrix of `f64` (column indices sorted within
+/// each row).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from raw CSR parts (cheap invariants always checked,
+    /// sortedness in debug builds).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rowptr.len(), rows + 1, "rowptr length");
+        assert_eq!(colidx.len(), values.len(), "colidx/values length");
+        assert_eq!(*rowptr.last().unwrap_or(&0), colidx.len(), "rowptr tail");
+        debug_assert!(rowptr.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!((0..rows).all(|i| {
+            let s = rowptr[i];
+            let e = rowptr[i + 1];
+            colidx[s..e].windows(2).all(|w| w[0] < w[1])
+                && colidx[s..e].iter().all(|&c| c < cols)
+        }));
+        CsrMatrix {
+            rows,
+            cols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            rowptr: vec![0; rows + 1],
+            colidx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Convert from CSC (O(nnz) transpose-style counting pass).
+    pub fn from_csc(a: &CscMatrix) -> Self {
+        let t = a.transpose(); // CSC of A^T == CSR of A, reinterpreted
+        CsrMatrix {
+            rows: a.rows(),
+            cols: a.cols(),
+            rowptr: t.colptr().to_vec(),
+            colidx: t.rowidx().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Convert to CSC.
+    pub fn to_csc(&self) -> CscMatrix {
+        // Reinterpret as CSC of A^T, then transpose.
+        let at = CscMatrix::from_parts(
+            self.cols,
+            self.rows,
+            self.rowptr.clone(),
+            self.colidx.clone(),
+            self.values.clone(),
+        );
+        at.transpose()
+    }
+
+    /// Row count.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// Row `i` as `(col_indices, values)`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let s = self.rowptr[i];
+        let e = self.rowptr[i + 1];
+        (&self.colidx[s..e], &self.values[s..e])
+    }
+
+    /// Number of entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// Entry lookup.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (ci, vs) = self.row(i);
+        match ci.binary_search(&j) {
+            Ok(p) => vs[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y = A x` — row-parallel-friendly form (each output entry is an
+    /// independent sparse dot product).
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|i| {
+                let (ci, vs) = self.row(i);
+                ci.iter().zip(vs).map(|(&c, &v)| v * x[c]).sum()
+            })
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Per-row nnz counts.
+    pub fn row_degrees(&self) -> Vec<usize> {
+        (0..self.rows).map(|i| self.row_nnz(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample_csc() -> CscMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        let mut coo = CooMatrix::new(3, 3);
+        for &(i, j, v) in &[(0, 0, 1.0), (2, 0, 4.0), (1, 1, 3.0), (0, 2, 2.0), (2, 2, 5.0)] {
+            coo.push(i, j, v);
+        }
+        coo.to_csc()
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let a = sample_csc();
+        let r = CsrMatrix::from_csc(&a);
+        assert_eq!(r.nnz(), a.nnz());
+        assert_eq!(r.get(0, 2), 2.0);
+        assert_eq!(r.get(1, 0), 0.0);
+        let back = r.to_csc();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn row_access_sorted() {
+        let r = CsrMatrix::from_csc(&sample_csc());
+        let (ci, vs) = r.row(0);
+        assert_eq!(ci, &[0, 2]);
+        assert_eq!(vs, &[1.0, 2.0]);
+        assert_eq!(r.row_nnz(1), 1);
+        assert_eq!(r.row_degrees(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn spmv_matches_csc_spmv() {
+        let a = sample_csc();
+        let r = CsrMatrix::from_csc(&a);
+        let x = [1.0, -2.0, 0.5];
+        let y_csr = r.spmv(&x);
+        let y_csc = crate::spmv(&a, &x);
+        for (u, v) in y_csr.iter().zip(&y_csc) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn norms_agree_across_formats() {
+        let a = sample_csc();
+        let r = CsrMatrix::from_csc(&a);
+        assert!((a.fro_norm() - r.fro_norm()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zeros_and_empty_rows() {
+        let z = CsrMatrix::zeros(4, 3);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.row(2), (&[][..], &[][..]));
+        assert_eq!(z.spmv(&[1.0, 1.0, 1.0]), vec![0.0; 4]);
+    }
+}

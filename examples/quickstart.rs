@@ -1,0 +1,97 @@
+//! Quickstart: run all four fixed-precision methods on one sparse
+//! matrix and compare rank, iterations, factor size and true error.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lra::core::{
+    ilut_crtp, lu_crtp, rand_qb_ei, rand_ubv, IlutOpts, LuCrtpOpts, Parallelism, QbOpts, UbvOpts,
+};
+
+fn main() {
+    // A circuit-simulation-style sparse matrix (1000 x 1000) with a
+    // decaying singular spectrum.
+    let a = lra::matgen::with_decay(&lra::matgen::circuit(1000, 4, 8, 42), 1e-6, 7);
+    let tau = 1e-2;
+    let k = 16;
+    let par = Parallelism::full();
+    println!(
+        "matrix: {}x{}, nnz = {}, ||A||_F = {:.3e}, tau = {tau:.0e}, k = {k}",
+        a.rows(),
+        a.cols(),
+        a.nnz(),
+        a.fro_norm()
+    );
+    println!(
+        "{:<12} {:>6} {:>6} {:>12} {:>12} {:>10}",
+        "method", "rank", "its", "factor nnz", "exact err", "time [s]"
+    );
+
+    let t = std::time::Instant::now();
+    let qb = rand_qb_ei(&a, &QbOpts::new(k, tau).with_par(par)).expect("tau above floor");
+    let dt = t.elapsed().as_secs_f64();
+    println!(
+        "{:<12} {:>6} {:>6} {:>12} {:>12.3e} {:>10.3}",
+        "RandQB_EI",
+        qb.rank,
+        qb.iterations,
+        qb.q.rows() * qb.q.cols() + qb.b.rows() * qb.b.cols(),
+        qb.exact_error(&a, par),
+        dt
+    );
+
+    let t = std::time::Instant::now();
+    let lu = lu_crtp(&a, &LuCrtpOpts::new(k, tau).with_par(par));
+    let dt = t.elapsed().as_secs_f64();
+    println!(
+        "{:<12} {:>6} {:>6} {:>12} {:>12.3e} {:>10.3}",
+        "LU_CRTP",
+        lu.rank,
+        lu.iterations,
+        lu.factor_nnz(),
+        lu.exact_error(&a, par),
+        dt
+    );
+
+    let t = std::time::Instant::now();
+    let il = ilut_crtp(&a, &{
+        let mut o = IlutOpts::new(k, tau, lu.iterations.max(1));
+        o.base.par = par;
+        o
+    });
+    let dt = t.elapsed().as_secs_f64();
+    let rep = il.threshold.as_ref().unwrap();
+    println!(
+        "{:<12} {:>6} {:>6} {:>12} {:>12.3e} {:>10.3}   (mu = {:.2e}, dropped {})",
+        "ILUT_CRTP",
+        il.rank,
+        il.iterations,
+        il.factor_nnz(),
+        il.exact_error(&a, par),
+        dt,
+        rep.mu,
+        rep.dropped
+    );
+
+    let t = std::time::Instant::now();
+    let ub = rand_ubv(&a, &{
+        let mut o = UbvOpts::new(k, tau);
+        o.par = par;
+        o
+    });
+    let dt = t.elapsed().as_secs_f64();
+    println!(
+        "{:<12} {:>6} {:>6} {:>12} {:>12.3e} {:>10.3}",
+        "RandUBV",
+        ub.rank,
+        ub.iterations,
+        ub.u.rows() * ub.u.cols() + ub.v.rows() * ub.v.cols(),
+        ub.exact_error(&a, par),
+        dt
+    );
+    println!(
+        "\nnnz(LU_CRTP factors) / nnz(ILUT_CRTP factors) = {:.2}",
+        lu.factor_nnz() as f64 / il.factor_nnz() as f64
+    );
+}

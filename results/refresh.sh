@@ -1,0 +1,10 @@
+#!/bin/bash
+cd /root/repo
+B=target/release
+$B/table1 > results/table1.txt 2>/dev/null
+$B/fig1_right > results/fig1_right.txt 2>/dev/null
+$B/fig4 > results/fig4.txt 2>/dev/null
+$B/fig5 > results/fig5.txt 2>/dev/null
+$B/fig6 > results/fig6.txt 2>/dev/null
+$B/fig1_left > results/fig1_left.txt 2>/dev/null
+echo REFRESH_DONE

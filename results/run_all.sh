@@ -1,0 +1,14 @@
+#!/bin/bash
+cd /root/repo
+set -x
+T() { /usr/bin/time -v "$@" ; }
+cargo run --release -p lra-bench --bin table1 > results/table1.txt 2>&1
+cargo run --release -p lra-bench --bin fig1_right > results/fig1_right.txt 2>&1
+cargo run --release -p lra-bench --bin fig1_left > results/fig1_left.txt 2>&1
+cargo run --release -p lra-bench --bin fig4 > results/fig4.txt 2>&1
+cargo run --release -p lra-bench --bin fig5 > results/fig5.txt 2>&1
+cargo run --release -p lra-bench --bin fig6 > results/fig6.txt 2>&1
+cargo run --release -p lra-bench --bin fig2 -- --tsvd > results/fig2.txt 2>&1
+cargo run --release -p lra-bench --bin fig3 > results/fig3.txt 2>&1
+cargo run --release -p lra-bench --bin table2 > results/table2.txt 2>&1
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,7 @@
+#!/bin/bash
+cd /root/repo
+set -x
+cargo run --release -p lra-bench --bin fig2 -- --tsvd > results/fig2.txt 2>&1
+cargo run --release -p lra-bench --bin fig3 > results/fig3.txt 2>&1
+cargo run --release -p lra-bench --bin table2 > results/table2.txt 2>&1
+echo REST_DONE

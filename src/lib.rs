@@ -1,0 +1,56 @@
+//! # lra — parallel fixed-precision low-rank approximation of sparse matrices
+//!
+//! A Rust implementation of the algorithms studied in *"Accuracy vs.
+//! Cost in Parallel Fixed-Precision Low-Rank Approximations of Sparse
+//! Matrices"* (Ernstbrunner, Mayer, Gansterer — IEEE IPDPS 2022),
+//! including every substrate they depend on: dense/sparse linear
+//! algebra, tournament pivoting, fill-reducing orderings, an SPMD
+//! message-passing runtime, and synthetic workload generators.
+//!
+//! ## The problem
+//!
+//! Given a large sparse `A` and a tolerance `tau`, find a rank `K` and
+//! factors `H_K (m x K)`, `W_K (K x n)` with
+//! `||A - H_K W_K||_F < tau * ||A||_F` — *without* knowing `K` in
+//! advance (the fixed-precision problem, eq. 1 of the paper).
+//!
+//! ## The methods
+//!
+//! | Method | Kind | Factors | Error control |
+//! |---|---|---|---|
+//! | [`core::rand_qb_ei`] | randomized | dense `Q B` | indicator eq. 4 (floor `2.1e-7`) |
+//! | [`core::lu_crtp`] | deterministic | sparse `L U` | indicator `\|\|A^(i+1)\|\|_F` |
+//! | [`core::ilut_crtp`] | deterministic + thresholding | sparser `L U` | estimator eq. 26 |
+//! | [`core::rand_ubv`] | randomized | dense `U B V^T` | Frobenius update |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lra::core::{lu_crtp, rand_qb_ei, LuCrtpOpts, QbOpts, Parallelism};
+//!
+//! // A sparse test matrix with decaying spectrum.
+//! let a = lra::matgen::with_decay(&lra::matgen::circuit(200, 4, 3, 1), 1e-6, 2);
+//! let tau = 1e-2;
+//!
+//! // Randomized: dense factors.
+//! let qb = rand_qb_ei(&a, &QbOpts::new(16, tau).with_par(Parallelism::full())).unwrap();
+//! assert!(qb.converged);
+//! assert!(qb.exact_error(&a, Parallelism::SEQ) < tau * qb.a_norm_f);
+//!
+//! // Deterministic: sparse factors.
+//! let lu = lu_crtp(&a, &LuCrtpOpts::new(16, tau));
+//! assert!(lu.converged);
+//! assert!(lu.indicator < tau * lu.a_norm_f);
+//! ```
+//!
+//! See `examples/` for domain scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+pub use lra_core as core;
+pub use lra_dense as dense;
+pub use lra_sparse as sparse;
+pub use lra_ordering as ordering;
+pub use lra_comm as comm;
+pub use lra_qrtp as qrtp;
+pub use lra_matgen as matgen;
+pub use lra_par as par;

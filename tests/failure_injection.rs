@@ -1,0 +1,148 @@
+//! Failure-injection and pathological-input tests across the stack:
+//! the library must degrade gracefully (error reports, breakdown flags)
+//! rather than panic or loop.
+
+use lra::core::{
+    ilut_crtp, lu_crtp, rand_qb_ei, rand_ubv, Breakdown, IlutOpts, LuCrtpOpts, Parallelism,
+    QbOpts, UbvOpts,
+};
+use lra::sparse::{CooMatrix, CscMatrix};
+
+#[test]
+fn qb_on_zero_matrix() {
+    let a = CscMatrix::zeros(40, 30);
+    let r = rand_qb_ei(&a, &QbOpts::new(8, 1e-2)).unwrap();
+    // ||A||_F = 0: the indicator is 0 after the first block.
+    assert!(r.converged);
+    assert!(r.indicator <= 1e-12);
+}
+
+#[test]
+fn ubv_on_zero_matrix() {
+    let a = CscMatrix::zeros(25, 25);
+    let r = rand_ubv(&a, &UbvOpts::new(4, 1e-2));
+    assert!(r.converged);
+}
+
+#[test]
+fn lucrtp_on_identity_terminates_quickly() {
+    // Identity has no decay at all: full rank needed for tight tau.
+    let a = CscMatrix::identity(64);
+    let r = lu_crtp(&a, &LuCrtpOpts::new(8, 1e-12));
+    assert!(r.converged, "{:?}", r.breakdown);
+    assert_eq!(r.rank, 64);
+    // The factors of a permuted identity are the identity itself.
+    assert_eq!(r.factor_nnz(), 128); // L has 64 unit entries, U has 64
+}
+
+#[test]
+fn lucrtp_single_column_matrix() {
+    let mut coo = CooMatrix::new(10, 1);
+    coo.push(3, 0, 2.5);
+    coo.push(7, 0, -1.0);
+    let a = coo.to_csc();
+    let r = lu_crtp(&a, &LuCrtpOpts::new(4, 1e-10));
+    assert!(r.converged);
+    assert_eq!(r.rank, 1);
+    let exact = r.exact_error(&a, Parallelism::SEQ);
+    assert!(exact < 1e-10 * a.fro_norm());
+}
+
+#[test]
+fn lucrtp_single_row_matrix() {
+    let mut coo = CooMatrix::new(1, 12);
+    for j in 0..12 {
+        coo.push(0, j, (j + 1) as f64);
+    }
+    let a = coo.to_csc();
+    let r = lu_crtp(&a, &LuCrtpOpts::new(4, 1e-10));
+    assert!(r.converged);
+    assert_eq!(r.rank, 1);
+}
+
+#[test]
+fn lucrtp_max_rank_reports_rank_exhausted() {
+    let a = lra::matgen::banded(50, 3, 1); // no decay: needs high rank
+    let r = lu_crtp(&a, &LuCrtpOpts::new(8, 1e-10).with_max_rank(16));
+    assert!(!r.converged);
+    assert_eq!(r.breakdown, Some(Breakdown::RankExhausted));
+    assert_eq!(r.rank, 16);
+    // The partial factorization is still usable and consistent.
+    let exact = r.exact_error(&a, Parallelism::SEQ);
+    assert!((exact - r.indicator).abs() < 1e-9 * r.a_norm_f);
+}
+
+#[test]
+fn ilut_on_matrix_with_huge_dynamic_range() {
+    // Entries spanning 1e-12 .. 1e12: thresholding must respect the
+    // scale through |R(1,1)| rather than absolute magnitudes.
+    let mut coo = CooMatrix::new(60, 60);
+    let mut s = 123u64;
+    for j in 0..60 {
+        for _ in 0..3 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i = (s % 60) as usize;
+            let mag = 10f64.powf(((s >> 32) % 25) as f64 - 12.0);
+            coo.push(i, j, mag);
+        }
+        coo.push(j, j, 1e12);
+    }
+    let a = coo.to_csc();
+    let lu = lu_crtp(&a, &LuCrtpOpts::new(8, 1e-3));
+    let il = ilut_crtp(&a, &IlutOpts::new(8, 1e-3, lu.iterations.max(1)));
+    if il.converged {
+        let exact = il.exact_error(&a, Parallelism::SEQ);
+        let bound =
+            1e-3 * a.fro_norm() + il.threshold.as_ref().unwrap().dropped_mass_sq.sqrt();
+        assert!(exact <= bound * 1.0001, "{exact} vs {bound}");
+    }
+}
+
+#[test]
+fn qb_handles_k_larger_than_matrix() {
+    let a = lra::matgen::banded(12, 2, 2);
+    let r = rand_qb_ei(&a, &QbOpts::new(64, 1e-6)).unwrap();
+    assert!(r.converged);
+    assert!(r.rank <= 12);
+}
+
+#[test]
+fn methods_on_rectangular_matrices() {
+    // Tall.
+    let tall = lra::matgen::spectrum(120, 40, &[5.0, 2.0, 1.0, 0.5, 0.2, 0.1], 8, 5);
+    let qb = rand_qb_ei(&tall, &QbOpts::new(4, 1e-6)).unwrap();
+    assert!(qb.converged);
+    assert!(qb.exact_error(&tall, Parallelism::SEQ) <= 1e-6 * tall.fro_norm());
+    let lu = lu_crtp(&tall, &LuCrtpOpts::new(4, 1e-6));
+    assert!(lu.converged, "{:?}", lu.breakdown);
+    // Wide.
+    let wide = lra::matgen::spectrum(40, 120, &[5.0, 2.0, 1.0, 0.5, 0.2, 0.1], 8, 6);
+    let lu_w = lu_crtp(&wide, &LuCrtpOpts::new(4, 1e-6));
+    assert!(lu_w.converged, "{:?}", lu_w.breakdown);
+    assert!(lu_w.exact_error(&wide, Parallelism::SEQ) <= 1e-6 * wide.fro_norm());
+}
+
+#[test]
+fn duplicate_column_matrix() {
+    // Every column identical: rank 1; the tournament must not select
+    // "independent" duplicates and the methods must converge at K = 1
+    // ... within one block.
+    let mut coo = CooMatrix::new(30, 10);
+    for j in 0..10 {
+        coo.push(2, j, 1.0);
+        coo.push(17, j, -0.5);
+    }
+    let a = coo.to_csc();
+    let r = lu_crtp(&a, &LuCrtpOpts::new(4, 1e-12));
+    assert!(r.converged, "{:?}", r.breakdown);
+    assert!(r.rank <= 4);
+    assert!(r.exact_error(&a, Parallelism::SEQ) <= 1e-12 * a.fro_norm() + 1e-14);
+}
+
+#[test]
+fn comm_spmd_with_more_ranks_than_work() {
+    let a = lra::matgen::spectrum(20, 15, &[3.0, 1.0], 4, 7);
+    let r = lra::core::lu_crtp_dist(&a, &LuCrtpOpts::new(2, 1e-9), 8);
+    assert!(r.converged, "{:?}", r.breakdown);
+    assert!(r.rank <= 4);
+}
