@@ -1,0 +1,184 @@
+//! Chaos-injection plans for the SPMD runtime.
+//!
+//! A [`FaultPlan`] is threaded into [`crate::run_with`] and describes
+//! failures the runtime should *inject* while the program runs:
+//! killing a rank at its Nth communication operation, delaying message
+//! deliveries with a seeded jitter (perturbing collective
+//! interleavings deterministically), and silently dropping a sender's
+//! Nth message so the receive watchdog's drop-then-detect path is
+//! exercised. This is the shared-memory analogue of the MPI failure
+//! modes a production deployment must tolerate: process death,
+//! network-induced reordering, and message loss.
+//!
+//! All randomness is seeded (no wall-clock entropy), so a failing
+//! chaos test reproduces exactly.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+/// A declarative set of faults to inject into one [`crate::run_with`]
+/// execution. Build with the chainable constructors:
+///
+/// ```
+/// use lra_comm::FaultPlan;
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::new()
+///     .kill_rank_at_op(2, 5)
+///     .drop_nth_send(0, 3)
+///     .delay_deliveries(42, Duration::from_micros(200));
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    kills: Vec<(usize, u64)>,
+    drops: Vec<(usize, u64)>,
+    delay: Option<DelaySpec>,
+}
+
+#[derive(Debug, Clone)]
+struct DelaySpec {
+    seed: u64,
+    max: Duration,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Kill `rank` when its operation counter reaches `op_index`
+    /// (1-based; sends, receives and collective entries all advance
+    /// the counter). The kill is reported as
+    /// [`crate::CommError::Failed`] on the victim and poisons every
+    /// peer.
+    pub fn kill_rank_at_op(mut self, rank: usize, op_index: u64) -> Self {
+        self.kills.push((rank, op_index.max(1)));
+        self
+    }
+
+    /// Silently drop the `nth` message (0-based) sent by `rank`. The
+    /// receiver is *not* notified — detection is the watchdog's job.
+    pub fn drop_nth_send(mut self, rank: usize, nth: u64) -> Self {
+        self.drops.push((rank, nth));
+        self
+    }
+
+    /// Delay every message delivery by a seeded-uniform duration in
+    /// `[0, max]`. Per-rank streams are decorrelated from `seed`, so
+    /// two runs with the same plan produce the same perturbation.
+    pub fn delay_deliveries(mut self, seed: u64, max: Duration) -> Self {
+        self.delay = Some(DelaySpec { seed, max });
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.drops.is_empty() && self.delay.is_none()
+    }
+
+    /// The op index at which `rank` must die, if any (earliest wins).
+    pub(crate) fn kill_op_for(&self, rank: usize) -> Option<u64> {
+        self.kills
+            .iter()
+            .filter(|(r, _)| *r == rank)
+            .map(|(_, op)| *op)
+            .min()
+    }
+
+    /// Sorted send indices `rank` must drop.
+    pub(crate) fn drops_for(&self, rank: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .drops
+            .iter()
+            .filter(|(r, _)| *r == rank)
+            .map(|(_, n)| *n)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Per-rank delay stream, if delivery delays are enabled.
+    pub(crate) fn delay_for(&self, rank: usize) -> Option<RankDelay> {
+        self.delay.as_ref().map(|spec| RankDelay {
+            // Decorrelate rank streams; golden-ratio increments keep
+            // distinct ranks' SplitMix sequences independent.
+            state: Cell::new(
+                spec.seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03,
+            ),
+            max_nanos: spec.max.as_nanos().min(u128::from(u64::MAX)) as u64,
+        })
+    }
+}
+
+/// Deterministic per-rank delay stream (SplitMix64 under the hood).
+#[derive(Debug)]
+pub(crate) struct RankDelay {
+    state: Cell<u64>,
+    max_nanos: u64,
+}
+
+impl RankDelay {
+    /// Next delay, uniform in `[0, max]`.
+    pub(crate) fn next_delay(&self) -> Duration {
+        let mut s = self.state.get().wrapping_add(0x9E3779B97F4A7C15);
+        self.state.set(s);
+        s = (s ^ (s >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94D049BB133111EB);
+        s ^= s >> 31;
+        if self.max_nanos == 0 {
+            return Duration::ZERO;
+        }
+        let nanos = ((s as u128 * (self.max_nanos as u128 + 1)) >> 64) as u64;
+        Duration::from_nanos(nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_op_earliest_wins() {
+        let p = FaultPlan::new().kill_rank_at_op(1, 9).kill_rank_at_op(1, 4);
+        assert_eq!(p.kill_op_for(1), Some(4));
+        assert_eq!(p.kill_op_for(0), None);
+    }
+
+    #[test]
+    fn drops_sorted_deduped() {
+        let p = FaultPlan::new()
+            .drop_nth_send(2, 7)
+            .drop_nth_send(2, 3)
+            .drop_nth_send(2, 7);
+        assert_eq!(p.drops_for(2), vec![3, 7]);
+        assert!(p.drops_for(1).is_empty());
+    }
+
+    #[test]
+    fn delay_streams_deterministic_and_bounded() {
+        let p = FaultPlan::new().delay_deliveries(11, Duration::from_micros(50));
+        let a = p.delay_for(0).unwrap();
+        let b = p.delay_for(0).unwrap();
+        for _ in 0..100 {
+            let d = a.next_delay();
+            assert_eq!(d, b.next_delay());
+            assert!(d <= Duration::from_micros(50));
+        }
+        // Distinct ranks see distinct streams.
+        let c = p.delay_for(1).unwrap();
+        let a2 = p.delay_for(0).unwrap();
+        assert_ne!(
+            (0..8).map(|_| a2.next_delay()).collect::<Vec<_>>(),
+            (0..8).map(|_| c.next_delay()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_max_delay_is_zero() {
+        let p = FaultPlan::new().delay_deliveries(1, Duration::ZERO);
+        assert_eq!(p.delay_for(3).unwrap().next_delay(), Duration::ZERO);
+    }
+}

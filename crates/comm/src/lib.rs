@@ -1,4 +1,4 @@
-//! Shared-memory SPMD runtime: the MPI substitute.
+//! Shared-memory SPMD runtime: the MPI substitute, with a fault model.
 //!
 //! The paper's parallel algorithms are written against MPI ranks and
 //! collectives (broadcast, allgather, tree reductions for tournament
@@ -11,17 +11,167 @@
 //! like MPI. Collectives are built from point-to-point messages over a
 //! binomial tree; all ranks must call collectives in the same program
 //! order (the usual SPMD contract).
+//!
+//! ## Fault model
+//!
+//! Unlike the first-cut runtime (which hung every peer forever when a
+//! single rank died), this runtime *contains* failures:
+//!
+//! - **Panic containment** — a panic inside the rank closure is caught
+//!   at the rank boundary, recorded as [`CommError::Failed`], and a
+//!   poison signal is broadcast over the control channel (a reserved
+//!   control-tag namespace plus a shared poison cell). Every peer
+//!   blocked in a receive or collective aborts with
+//!   [`CommError::PeerFailed`] instead of hanging.
+//! - **Deadlock detection** — every blocked receive carries a watchdog
+//!   (default 30 s, override with `LRA_COMM_WATCHDOG_MS` or
+//!   [`RunConfig::with_watchdog`]). On expiry the rank fails with
+//!   [`CommError::Timeout`] carrying a [`TimeoutDiagnostics`] dump:
+//!   what it was waiting for, its op counter and collective program
+//!   counter, and the `(src, tag)` of every buffered non-matching
+//!   message — enough to diagnose a mis-ordered collective from a
+//!   single rank's report. A timeout also poisons peers, so one stuck
+//!   rank cannot wedge the rest.
+//! - **Chaos injection** — a [`FaultPlan`] threaded through
+//!   [`run_with`] can kill a rank at its Nth operation, delay
+//!   deliveries with seeded jitter, and drop individual messages
+//!   (detected by the watchdog). Per-rank [`CommStats`] counters
+//!   (messages, bytes via [`MessageSize`], pending-buffer high-water
+//!   mark) are reported alongside the results.
+//!
+//! [`run`] returns `Vec<Result<T, CommError>>`; [`run_infallible`]
+//! unwraps for callers on the happy path.
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+mod error;
+mod fault;
+mod stats;
+
+pub use error::{CommError, TimeoutDiagnostics};
+pub use fault::FaultPlan;
+pub use stats::{CommStats, MessageSize};
+
+use fault::RankDelay;
 use std::any::Any;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 type Payload = Box<dyn Any + Send>;
 
 struct Envelope {
     src: usize,
     tag: u64,
+    /// `std::any::type_name` of the payload, captured at send time so
+    /// type-mismatch diagnostics can name both sides.
+    type_name: &'static str,
+    /// Approximate payload size per [`MessageSize`].
+    bytes: usize,
     payload: Payload,
+}
+
+/// Internal tag namespace for collectives (top bit set so user tags in
+/// `0 .. 2^63` never collide).
+const COLL: u64 = 1 << 63;
+/// Control-channel namespace (top two bits): poison broadcast.
+const CTRL_POISON: u64 = COLL | (1 << 62);
+
+/// Poll quantum for blocked receives: the longest a rank can take to
+/// notice an out-of-band poison flag when no wake-up envelope reaches
+/// it (e.g. its inbox sender was already dropped).
+const POISON_POLL: Duration = Duration::from_millis(25);
+
+/// Shared control state: the first failure wins and is visible to all
+/// ranks (the authoritative record behind the poison broadcast).
+#[derive(Default)]
+struct Control {
+    poison: Mutex<Option<(usize, String)>>,
+}
+
+impl Control {
+    /// Record a failure if none is recorded yet; returns whether this
+    /// call won the race (and should send wake-up envelopes).
+    fn try_poison(&self, rank: usize, payload: String) -> bool {
+        let mut slot = self.poison.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some((rank, payload));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn poison_info(&self) -> Option<(usize, String)> {
+        self.poison
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+}
+
+/// Configuration for one [`run_with`] execution.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Watchdog window for every blocked receive. Default: 30 s, or
+    /// `LRA_COMM_WATCHDOG_MS` from the environment.
+    pub watchdog: Duration,
+    /// Faults to inject (empty by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        let watchdog = std::env::var("LRA_COMM_WATCHDOG_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_secs(30));
+        RunConfig {
+            watchdog,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Override the watchdog window.
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Attach a chaos-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// Results and counters of one [`run_with`] execution, in rank order.
+#[derive(Debug)]
+pub struct RunReport<T> {
+    /// Per-rank outcome: the closure's value, or why the rank failed.
+    pub results: Vec<Result<T, CommError>>,
+    /// Per-rank communication counters (present even for failed
+    /// ranks — the counters cover everything up to the failure).
+    pub stats: Vec<CommStats>,
+}
+
+impl<T> RunReport<T> {
+    /// True when every rank produced a value.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.is_ok())
+    }
+
+    /// Unwrap all results, panicking with the first failure.
+    pub fn unwrap_all(self) -> Vec<T> {
+        self.results
+            .into_iter()
+            .enumerate()
+            .map(|(rank, r)| r.unwrap_or_else(|e| panic!("SPMD rank {rank} failed: {e}")))
+            .collect()
+    }
 }
 
 /// Per-rank communication context handed to the SPMD closure.
@@ -31,11 +181,56 @@ pub struct Ctx {
     senders: Vec<Sender<Envelope>>,
     inbox: Receiver<Envelope>,
     pending: RefCell<Vec<Envelope>>,
+    control: Arc<Control>,
+    watchdog: Duration,
+    // Chaos-injection state for this rank.
+    kill_at: Option<u64>,
+    drops: Vec<u64>,
+    delay: Option<RankDelay>,
+    // Counters.
+    stats: RefCell<CommStats>,
+    op_index: Cell<u64>,
+    coll_pc: Cell<u64>,
+    in_collective: Cell<Option<&'static str>>,
+    send_index: Cell<u64>,
 }
 
-/// Internal tag namespace for collectives (top bit set so user tags in
-/// `0 .. 2^63` never collide).
-const COLL: u64 = 1 << 63;
+thread_local! {
+    /// Set while this thread unwinds with a runtime-raised
+    /// [`CommError`]: the failure is *contained* (caught at the rank
+    /// boundary and returned as a value), so the default panic hook's
+    /// "thread panicked at ... Box<dyn Any>" noise is suppressed.
+    /// Organic panics in rank closures keep the normal hook output.
+    static QUIET_UNWIND: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_UNWIND.with(std::cell::Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Raise a [`CommError`] as a rank-local panic; [`run_with`] catches
+/// it at the rank boundary and converts it into the rank's result.
+#[cold]
+fn raise<T>(err: CommError) -> T {
+    QUIET_UNWIND.with(|q| q.set(true));
+    std::panic::panic_any(err)
+}
+
+fn unwrap_comm<T>(r: Result<T, CommError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => raise(e),
+    }
+}
 
 impl Ctx {
     /// This rank's id in `0..size`.
@@ -50,79 +245,239 @@ impl Ctx {
         self.size
     }
 
-    /// Send `msg` to rank `dst` with a user `tag` (`tag < 2^63`).
-    pub fn send<M: Send + 'static>(&self, dst: usize, tag: u64, msg: M) {
-        assert!(tag < COLL, "user tags must be < 2^63");
-        self.send_raw(dst, tag, msg);
+    /// Snapshot of this rank's communication counters.
+    pub fn stats(&self) -> CommStats {
+        self.stats.borrow().clone()
     }
 
-    fn send_raw<M: Send + 'static>(&self, dst: usize, tag: u64, msg: M) {
+    /// Communication operations performed so far (sends + receives +
+    /// collective entries) — the counter [`FaultPlan::kill_rank_at_op`]
+    /// indexes into.
+    pub fn op_index(&self) -> u64 {
+        self.op_index.get()
+    }
+
+    /// Collectives entered so far (the collective program counter in
+    /// [`TimeoutDiagnostics`]).
+    pub fn collective_pc(&self) -> u64 {
+        self.coll_pc.get()
+    }
+
+    /// Advance the op counter; fail here if the fault plan kills this
+    /// rank at this operation.
+    fn begin_op(&self) -> Result<(), CommError> {
+        let op = self.op_index.get() + 1;
+        self.op_index.set(op);
+        self.stats.borrow_mut().ops += 1;
+        if self.kill_at == Some(op) {
+            return Err(CommError::Failed {
+                rank: self.rank,
+                payload: format!("fault injection: rank {} killed at op {op}", self.rank),
+            });
+        }
+        Ok(())
+    }
+
+    /// Map a send-to-dead-inbox failure onto the recorded poison, or
+    /// onto a program-order diagnosis when the peer exited cleanly.
+    fn peer_gone(&self, dst: usize) -> CommError {
+        match self.control.poison_info() {
+            Some((rank, payload)) => CommError::PeerFailed { rank, payload },
+            None => CommError::PeerFailed {
+                rank: dst,
+                payload: format!(
+                    "rank {dst} exited before receiving (mis-ordered send/collective?)"
+                ),
+            },
+        }
+    }
+
+    /// Send `msg` to rank `dst` with a user `tag` (`tag < 2^63`).
+    /// Panics (contained at the rank boundary) if a peer failed.
+    pub fn send<M: Send + 'static>(&self, dst: usize, tag: u64, msg: M) {
+        assert!(tag < COLL, "user tags must be < 2^63");
+        unwrap_comm(self.send_msg(dst, tag, msg));
+    }
+
+    fn send_msg<M: Send + 'static>(&self, dst: usize, tag: u64, msg: M) -> Result<(), CommError> {
         assert!(dst < self.size, "send to invalid rank {dst}");
+        self.begin_op()?;
+        if let Some(delay) = &self.delay {
+            let d = delay.next_delay();
+            if !d.is_zero() {
+                self.stats.borrow_mut().fault_delayed += 1;
+                std::thread::sleep(d);
+            }
+        }
+        let sidx = self.send_index.get();
+        self.send_index.set(sidx + 1);
+        if self.drops.binary_search(&sidx).is_ok() {
+            // Chaos plan: silently lose the message. Detection is the
+            // receiver watchdog's job.
+            self.stats.borrow_mut().fault_dropped += 1;
+            return Ok(());
+        }
+        let bytes = msg.message_size();
+        {
+            let mut st = self.stats.borrow_mut();
+            st.msgs_sent += 1;
+            st.bytes_sent += bytes as u64;
+        }
         self.senders[dst]
             .send(Envelope {
                 src: self.rank,
                 tag,
+                type_name: std::any::type_name::<M>(),
+                bytes,
                 payload: Box::new(msg),
             })
-            .expect("receiver dropped: peer rank exited early");
+            .map_err(|_| self.peer_gone(dst))
     }
 
     /// Blocking receive of a message from `src` with `tag`. Messages of
     /// other `(src, tag)` pairs arriving in between are buffered.
-    /// Panics if the payload type does not match `M`.
+    /// Panics (contained at the rank boundary) on peer failure or
+    /// watchdog expiry; panics with both type names on a payload type
+    /// mismatch.
     pub fn recv<M: Send + 'static>(&self, src: usize, tag: u64) -> M {
         assert!(tag < COLL, "user tags must be < 2^63");
-        self.recv_raw(src, tag)
+        unwrap_comm(self.recv_msg(src, tag))
     }
 
-    fn recv_raw<M: Send + 'static>(&self, src: usize, tag: u64) -> M {
+    fn recv_msg<M: Send + 'static>(&self, src: usize, tag: u64) -> Result<M, CommError> {
+        self.begin_op()?;
         // Check buffered messages first (FIFO: scan from the front).
         {
             let mut pending = self.pending.borrow_mut();
             if let Some(pos) = pending.iter().position(|e| e.src == src && e.tag == tag) {
                 let env = pending.remove(pos);
-                return Self::downcast(env);
+                return Ok(self.consume(env));
             }
         }
+        let deadline = Instant::now() + self.watchdog;
         loop {
-            let env = self
-                .inbox
-                .recv()
-                .expect("all senders dropped while waiting for a message");
-            if env.src == src && env.tag == tag {
-                return Self::downcast(env);
+            if let Some((rank, payload)) = self.control.poison_info() {
+                return Err(CommError::PeerFailed { rank, payload });
             }
-            self.pending.borrow_mut().push(env);
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(self.timeout_error(src, tag));
+            }
+            let tick = (deadline - now).min(POISON_POLL);
+            match self.inbox.recv_timeout(tick) {
+                Ok(env) if env.tag == CTRL_POISON => {
+                    let (rank, payload) = self
+                        .control
+                        .poison_info()
+                        .unwrap_or((env.src, "peer failed".to_string()));
+                    return Err(CommError::PeerFailed { rank, payload });
+                }
+                Ok(env) if env.src == src && env.tag == tag => {
+                    return Ok(self.consume(env));
+                }
+                Ok(env) => {
+                    let mut pending = self.pending.borrow_mut();
+                    pending.push(env);
+                    let depth = pending.len();
+                    drop(pending);
+                    let mut st = self.stats.borrow_mut();
+                    st.max_pending = st.max_pending.max(depth);
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every sender (including our own loop-back clone)
+                    // dropped: all peers are gone.
+                    return Err(match self.control.poison_info() {
+                        Some((rank, payload)) => CommError::PeerFailed { rank, payload },
+                        None => CommError::PeerFailed {
+                            rank: src,
+                            payload: "all senders dropped while waiting".to_string(),
+                        },
+                    });
+                }
+            }
         }
     }
 
-    fn downcast<M: Send + 'static>(env: Envelope) -> M {
+    /// Watchdog diagnostic for a receive stuck on `(src, tag)`.
+    fn timeout_error(&self, src: usize, tag: u64) -> CommError {
+        let pending: Vec<(usize, u64)> = self
+            .pending
+            .borrow()
+            .iter()
+            .map(|e| (e.src, e.tag))
+            .collect();
+        CommError::Timeout(Box::new(TimeoutDiagnostics {
+            rank: self.rank,
+            src,
+            tag,
+            waited: self.watchdog,
+            op_index: self.op_index.get(),
+            collective_pc: self.coll_pc.get(),
+            in_collective: self.in_collective.get(),
+            pending,
+        }))
+    }
+
+    /// Account for and downcast a matched envelope.
+    fn consume<M: Send + 'static>(&self, env: Envelope) -> M {
+        {
+            let mut st = self.stats.borrow_mut();
+            st.msgs_received += 1;
+            st.bytes_received += env.bytes as u64;
+        }
+        let (src, tag, sent_as) = (env.src, env.tag, env.type_name);
         *env.payload.downcast::<M>().unwrap_or_else(|_| {
             panic!(
-                "message type mismatch for (src={}, tag={})",
-                env.src, env.tag
+                "message type mismatch for (src={src}, tag={}): \
+                 receiver expected `{}`, sender sent `{sent_as}`",
+                error::tag_repr(tag),
+                std::any::type_name::<M>(),
             )
         })
     }
 
+    /// Run a collective body with the program-counter bookkeeping the
+    /// watchdog diagnostics rely on.
+    fn collective<V>(
+        &self,
+        name: &'static str,
+        body: impl FnOnce() -> Result<V, CommError>,
+    ) -> Result<V, CommError> {
+        self.coll_pc.set(self.coll_pc.get() + 1);
+        self.stats.borrow_mut().collectives += 1;
+        let prev = self.in_collective.replace(Some(name));
+        let out = body();
+        self.in_collective.set(prev);
+        out
+    }
+
     /// Synchronize all ranks.
     pub fn barrier(&self) {
-        let _ = self.allreduce(0u8, |_, _| 0u8);
+        unwrap_comm(self.collective("barrier", || self.allreduce_impl(0u8, |_, _| 0u8)));
     }
 
     /// Broadcast `value` from `root` to every rank; each rank returns
     /// the broadcast value. Non-root ranks pass their own (ignored)
     /// `value`. Binomial tree, `log2(P)` rounds.
     pub fn broadcast<M: Clone + Send + 'static>(&self, root: usize, value: M) -> M {
+        unwrap_comm(self.collective("broadcast", || self.broadcast_impl(root, value)))
+    }
+
+    fn broadcast_impl<M: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: M,
+    ) -> Result<M, CommError> {
         let size = self.size;
         if size == 1 {
-            return value;
+            return Ok(value);
         }
         let vrank = (self.rank + size - root) % size;
         let v = if vrank == 0 {
             value
         } else {
-            self.recv_raw::<M>(self.bcast_parent(root), COLL | 1)
+            self.recv_msg::<M>(self.bcast_parent(root), COLL | 1)?
         };
         self.forward_bcast(root, v)
     }
@@ -130,26 +485,36 @@ impl Ctx {
     /// Gather one value from every rank onto all ranks
     /// (`out[r]` = rank `r`'s contribution). Gather-to-0 then broadcast.
     pub fn allgather<M: Clone + Send + 'static>(&self, mine: M) -> Vec<M> {
-        if self.size == 1 {
-            return vec![mine];
-        }
-        if self.rank == 0 {
-            let mut all = Vec::with_capacity(self.size);
-            all.push(mine);
-            for src in 1..self.size {
-                all.push(self.recv_raw::<M>(src, COLL | 2));
+        unwrap_comm(self.collective("allgather", || {
+            if self.size == 1 {
+                return Ok(vec![mine]);
             }
-            self.broadcast(0, all)
-        } else {
-            self.send_raw(0, COLL | 2, mine);
-            self.broadcast(0, Vec::<M>::new())
-        }
+            if self.rank == 0 {
+                let mut all = Vec::with_capacity(self.size);
+                all.push(mine);
+                for src in 1..self.size {
+                    all.push(self.recv_msg::<M>(src, COLL | 2)?);
+                }
+                self.broadcast_impl(0, all)
+            } else {
+                self.send_msg(0, COLL | 2, mine)?;
+                self.broadcast_impl(0, Vec::<M>::new())
+            }
+        }))
     }
 
     /// Binomial-tree reduction to rank `root`; returns `Some(result)` on
     /// the root, `None` elsewhere. `op(a, b)` must be associative; the
     /// combination tree is deterministic for a fixed `size`.
     pub fn reduce<M, F>(&self, root: usize, mine: M, op: F) -> Option<M>
+    where
+        M: Send + 'static,
+        F: Fn(M, M) -> M,
+    {
+        unwrap_comm(self.collective("reduce", || self.reduce_impl(root, mine, &op)))
+    }
+
+    fn reduce_impl<M, F>(&self, root: usize, mine: M, op: &F) -> Result<Option<M>, CommError>
     where
         M: Send + 'static,
         F: Fn(M, M) -> M,
@@ -163,18 +528,18 @@ impl Ctx {
                 let vpeer = vrank | mask;
                 if vpeer < size {
                     let peer = (vpeer + root) % size;
-                    let other = self.recv_raw::<M>(peer, COLL | 3);
+                    let other = self.recv_msg::<M>(peer, COLL | 3)?;
                     acc = op(acc, other);
                 }
             } else {
                 let vparent = vrank & !mask;
                 let parent = (vparent + root) % size;
-                self.send_raw(parent, COLL | 3, acc);
-                return None;
+                self.send_msg(parent, COLL | 3, acc)?;
+                return Ok(None);
             }
             mask <<= 1;
         }
-        Some(acc)
+        Ok(Some(acc))
     }
 
     /// Reduction whose result is delivered to every rank.
@@ -183,12 +548,20 @@ impl Ctx {
         M: Clone + Send + 'static,
         F: Fn(M, M) -> M,
     {
-        match self.reduce(0, mine, op) {
-            Some(v) => self.broadcast(0, v),
+        unwrap_comm(self.collective("allreduce", || self.allreduce_impl(mine, op)))
+    }
+
+    fn allreduce_impl<M, F>(&self, mine: M, op: F) -> Result<M, CommError>
+    where
+        M: Clone + Send + 'static,
+        F: Fn(M, M) -> M,
+    {
+        match self.reduce_impl(0, mine, &op)? {
+            Some(v) => self.broadcast_impl(0, v),
             None => {
                 // Participate in the broadcast with a placeholder that
                 // is never read (non-root passes its own value slot).
-                let v = self.recv_raw::<M>(self.bcast_parent(0), COLL | 1);
+                let v = self.recv_msg::<M>(self.bcast_parent(0), COLL | 1)?;
                 self.forward_bcast(0, v)
             }
         }
@@ -203,7 +576,7 @@ impl Ctx {
         (vparent + root) % size
     }
 
-    fn forward_bcast<M: Clone + Send + 'static>(&self, root: usize, v: M) -> M {
+    fn forward_bcast<M: Clone + Send + 'static>(&self, root: usize, v: M) -> Result<M, CommError> {
         let size = self.size;
         let vrank = (self.rank + size - root) % size;
         let lowest = if vrank == 0 {
@@ -224,68 +597,183 @@ impl Ctx {
         }
         for &child in children.iter().rev() {
             let dst = (child + root) % size;
-            self.send_raw(dst, COLL | 1, v.clone());
+            self.send_msg(dst, COLL | 1, v.clone())?;
         }
-        v
+        Ok(v)
+    }
+
+    /// After a primary failure on this rank: record it in the control
+    /// cell and wake every blocked peer with a poison envelope.
+    fn poison_peers(&self, payload: String) {
+        if self.control.try_poison(self.rank, payload) {
+            for (dst, sender) in self.senders.iter().enumerate() {
+                if dst == self.rank {
+                    continue;
+                }
+                // A dead peer's inbox is gone; that is fine.
+                let _ = sender.send(Envelope {
+                    src: self.rank,
+                    tag: CTRL_POISON,
+                    type_name: "poison",
+                    bytes: 0,
+                    payload: Box::new(()),
+                });
+            }
+        }
     }
 }
 
-/// Run `f` as an SPMD program on `np` ranks (threads). Returns the
-/// per-rank results in rank order.
-pub fn run<T, F>(np: usize, f: F) -> Vec<T>
+/// Stringify a panic payload for failure reports.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "rank panicked with a non-string payload".to_string()
+    }
+}
+
+/// Convert whatever unwound out of a rank closure into this rank's
+/// [`CommError`], poisoning peers when the failure originated here.
+fn contain_failure(rank: usize, ctx: &Ctx, payload: Box<dyn Any + Send>) -> CommError {
+    match payload.downcast::<CommError>() {
+        Ok(err) => {
+            let err = *err;
+            match &err {
+                // Secondary failure: some other rank poisoned us —
+                // do not re-poison, the first failure already did.
+                CommError::PeerFailed { .. } => err,
+                // Primary failures raised by the runtime itself
+                // (injected kill, watchdog timeout): poison peers with
+                // a description of this failure. For `Failed` the bare
+                // payload already names the rank — re-rendering the
+                // whole error would double the "rank N failed" prefix
+                // in every peer's report.
+                CommError::Failed { payload, .. } => {
+                    ctx.poison_peers(payload.clone());
+                    err
+                }
+                other => {
+                    ctx.poison_peers(other.to_string());
+                    err
+                }
+            }
+        }
+        Err(other) => {
+            // Organic panic in the rank closure (or a type-mismatch
+            // assertion): this rank is the origin.
+            let msg = panic_message(other.as_ref());
+            ctx.poison_peers(msg.clone());
+            CommError::Failed { rank, payload: msg }
+        }
+    }
+}
+
+/// Run `f` as an SPMD program on `np` ranks (threads) under `config`,
+/// returning per-rank results *and* per-rank communication counters.
+///
+/// A rank that panics, is chaos-killed, or times out yields
+/// `Err(CommError)`; every peer blocked on it is aborted with
+/// [`CommError::PeerFailed`] rather than hanging. The call itself
+/// never panics on rank failure (only on runtime-internal bugs).
+pub fn run_with<T, F>(np: usize, config: &RunConfig, f: F) -> RunReport<T>
 where
     T: Send,
     F: Fn(&Ctx) -> T + Sync,
 {
     let np = np.max(1);
+    install_quiet_hook();
     let mut senders = Vec::with_capacity(np);
     let mut receivers = Vec::with_capacity(np);
     for _ in 0..np {
-        let (s, r) = unbounded::<Envelope>();
+        let (s, r) = channel::<Envelope>();
         senders.push(s);
         receivers.push(r);
     }
-    let mut results: Vec<Option<T>> = Vec::with_capacity(np);
-    results.resize_with(np, || None);
-    {
-        let results_ptr = SendPtr(results.as_mut_ptr());
-        let senders_ref = &senders;
-        let f_ref = &f;
-        crossbeam_utils::thread::scope(|scope| {
-            for (rank, inbox) in receivers.into_iter().enumerate() {
-                scope.spawn(move |_| {
+    let control = Arc::new(Control::default());
+    let senders_ref = &senders;
+    let f_ref = &f;
+    let control_ref = &control;
+    let per_rank: Vec<(Result<T, CommError>, CommStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| {
+                scope.spawn(move || {
                     let ctx = Ctx {
                         rank,
                         size: np,
                         senders: senders_ref.clone(),
                         inbox,
                         pending: RefCell::new(Vec::new()),
+                        control: Arc::clone(control_ref),
+                        watchdog: config.watchdog.max(Duration::from_millis(1)),
+                        kill_at: config.faults.kill_op_for(rank),
+                        drops: config.faults.drops_for(rank),
+                        delay: config.faults.delay_for(rank),
+                        stats: RefCell::new(CommStats::default()),
+                        op_index: Cell::new(0),
+                        coll_pc: Cell::new(0),
+                        in_collective: Cell::new(None),
+                        send_index: Cell::new(0),
                     };
-                    let out = f_ref(&ctx);
-                    // SAFETY: each rank writes its own slot exactly once.
-                    unsafe { *results_ptr.get().add(rank) = Some(out) };
-                });
-            }
-        })
-        .expect("SPMD rank panicked");
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f_ref(&ctx)));
+                    let result = match outcome {
+                        Ok(v) => Ok(v),
+                        Err(payload) => Err(contain_failure(rank, &ctx, payload)),
+                    };
+                    (result, ctx.stats())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().unwrap_or_else(|_| {
+                    // Unreachable in practice: the closure is fully
+                    // wrapped in catch_unwind.
+                    (
+                        Err(CommError::Failed {
+                            rank,
+                            payload: "rank thread died outside containment".to_string(),
+                        }),
+                        CommStats::default(),
+                    )
+                })
+            })
+            .collect()
+    });
+    let mut results = Vec::with_capacity(np);
+    let mut stats = Vec::with_capacity(np);
+    for (r, s) in per_rank {
+        results.push(r);
+        stats.push(s);
     }
-    results.into_iter().map(|r| r.expect("rank result")).collect()
+    RunReport { results, stats }
 }
 
-struct SendPtr<T>(*mut T);
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
+/// Run `f` as an SPMD program on `np` ranks (threads) with the default
+/// configuration. Returns the per-rank results in rank order; a failed
+/// rank yields `Err` and is guaranteed not to hang its peers.
+pub fn run<T, F>(np: usize, f: F) -> Vec<Result<T, CommError>>
+where
+    T: Send,
+    F: Fn(&Ctx) -> T + Sync,
+{
+    run_with(np, &RunConfig::default(), f).results
 }
-impl<T> Copy for SendPtr<T> {}
-unsafe impl<T: Send> Send for SendPtr<T> {}
-unsafe impl<T: Send> Sync for SendPtr<T> {}
-impl<T> SendPtr<T> {
-    #[inline]
-    fn get(self) -> *mut T {
-        self.0
-    }
+
+/// [`run`] for callers that treat any rank failure as fatal: unwraps
+/// every per-rank result, panicking with the first [`CommError`].
+/// This is the drop-in replacement for the pre-fault-model `run`.
+pub fn run_infallible<T, F>(np: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Ctx) -> T + Sync,
+{
+    run_with(np, &RunConfig::default(), f).unwrap_all()
 }
 
 #[cfg(test)]
@@ -295,7 +783,7 @@ mod tests {
     #[test]
     fn ring_send_recv() {
         for np in [1usize, 2, 3, 5, 8] {
-            let out = run(np, |ctx| {
+            let out = run_infallible(np, |ctx| {
                 let next = (ctx.rank() + 1) % ctx.size();
                 let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
                 ctx.send(next, 7, ctx.rank());
@@ -310,7 +798,7 @@ mod tests {
 
     #[test]
     fn out_of_order_tags_buffer() {
-        let out = run(2, |ctx| {
+        let out = run_infallible(2, |ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 10, "first".to_string());
                 ctx.send(1, 20, "second".to_string());
@@ -331,7 +819,7 @@ mod tests {
     fn broadcast_all_sizes_and_roots() {
         for np in [1usize, 2, 3, 4, 6, 7, 8] {
             for root in 0..np {
-                let out = run(np, |ctx| {
+                let out = run_infallible(np, |ctx| {
                     let v = if ctx.rank() == root { 42u64 } else { 0 };
                     ctx.broadcast(root, v)
                 });
@@ -343,7 +831,7 @@ mod tests {
     #[test]
     fn allgather_collects_in_rank_order() {
         for np in [1usize, 3, 6] {
-            let out = run(np, |ctx| ctx.allgather(ctx.rank() * 10));
+            let out = run_infallible(np, |ctx| ctx.allgather(ctx.rank() * 10));
             for per_rank in out {
                 let expect: Vec<usize> = (0..np).map(|r| r * 10).collect();
                 assert_eq!(per_rank, expect, "np={np}");
@@ -354,7 +842,8 @@ mod tests {
     #[test]
     fn reduce_sums() {
         for np in [1usize, 2, 5, 8] {
-            let out = run(np, |ctx| ctx.reduce(0, ctx.rank() as u64 + 1, |a, b| a + b));
+            let out =
+                run_infallible(np, |ctx| ctx.reduce(0, ctx.rank() as u64 + 1, |a, b| a + b));
             let expect: u64 = (1..=np as u64).sum();
             assert_eq!(out[0], Some(expect), "np={np}");
             for v in &out[1..] {
@@ -366,14 +855,14 @@ mod tests {
     #[test]
     fn allreduce_max() {
         for np in [1usize, 4, 7] {
-            let out = run(np, |ctx| ctx.allreduce(ctx.rank(), |a, b| a.max(b)));
+            let out = run_infallible(np, |ctx| ctx.allreduce(ctx.rank(), |a, b| a.max(b)));
             assert!(out.iter().all(|&v| v == np - 1), "np={np}");
         }
     }
 
     #[test]
     fn barrier_completes() {
-        let out = run(6, |ctx| {
+        let out = run_infallible(6, |ctx| {
             for _ in 0..10 {
                 ctx.barrier();
             }
@@ -384,7 +873,7 @@ mod tests {
 
     #[test]
     fn collectives_interleaved_with_p2p() {
-        let out = run(4, |ctx| {
+        let out = run_infallible(4, |ctx| {
             let r = ctx.rank();
             // P2P exchange between 0 and 3 straddling a collective.
             if r == 0 {
@@ -404,12 +893,173 @@ mod tests {
     #[test]
     #[should_panic]
     fn type_mismatch_panics() {
-        run(2, |ctx| {
+        run_infallible(2, |ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 1, 5u32);
             } else {
                 let _ = ctx.recv::<String>(0, 1);
             }
         });
+    }
+
+    #[test]
+    fn type_mismatch_names_both_types() {
+        let results = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, 5u32);
+            } else {
+                let _ = ctx.recv::<String>(0, 1);
+            }
+        });
+        let err = results[1].as_ref().unwrap_err();
+        match err {
+            CommError::Failed { rank, payload } => {
+                assert_eq!(*rank, 1);
+                assert!(payload.contains("u32"), "missing sent type: {payload}");
+                assert!(
+                    payload.contains("String"),
+                    "missing expected type: {payload}"
+                );
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_is_contained_and_poisons_peers() {
+        let results = run(3, |ctx| {
+            if ctx.rank() == 1 {
+                panic!("deliberate failure");
+            }
+            // Ranks 0 and 2 would block forever without containment.
+            ctx.allreduce(1usize, |a, b| a + b)
+        });
+        match &results[1] {
+            Err(CommError::Failed { rank: 1, payload }) => {
+                assert!(payload.contains("deliberate failure"));
+            }
+            other => panic!("origin rank: {other:?}"),
+        }
+        for r in [0usize, 2] {
+            match &results[r] {
+                Err(CommError::PeerFailed { rank: 1, payload }) => {
+                    assert!(payload.contains("deliberate failure"));
+                }
+                other => panic!("rank {r}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_pending_and_collective_pc() {
+        let cfg = RunConfig::default().with_watchdog(Duration::from_millis(150));
+        let report = run_with(2, &cfg, |ctx| {
+            if ctx.rank() == 0 {
+                // Send a non-matching message, never enter the
+                // barrier, and outlive rank 1's watchdog (exiting
+                // early would trip the faster peer-gone detection
+                // instead of the watchdog under test).
+                ctx.send(1, 77, 1u8);
+                std::thread::sleep(Duration::from_millis(800));
+            } else {
+                ctx.barrier();
+            }
+            ctx.rank()
+        });
+        let err = report.results[1].as_ref().unwrap_err();
+        match err {
+            CommError::Timeout(diag) => {
+                assert_eq!(diag.rank, 1);
+                assert_eq!(diag.collective_pc, 1);
+                assert_eq!(diag.in_collective, Some("barrier"));
+                assert!(
+                    diag.pending.contains(&(0, 77)),
+                    "pending: {:?}",
+                    diag.pending
+                );
+                let rendered = err.to_string();
+                assert!(rendered.contains("inside barrier"), "{rendered}");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(report.results[0].is_ok());
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let report = run_with(2, &RunConfig::default(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, 7u64);
+                ctx.send(1, 2, 9u64);
+            } else {
+                // Reverse order forces one buffered message.
+                let b = ctx.recv::<u64>(0, 2);
+                let a = ctx.recv::<u64>(0, 1);
+                assert_eq!((a, b), (7, 9));
+            }
+        });
+        assert!(report.all_ok());
+        assert_eq!(report.stats[0].msgs_sent, 2);
+        assert_eq!(report.stats[0].bytes_sent, 16);
+        assert_eq!(report.stats[1].msgs_received, 2);
+        assert_eq!(report.stats[1].bytes_received, 16);
+        assert_eq!(report.stats[1].max_pending, 1);
+        assert_eq!(report.stats[0].ops, 2);
+        assert_eq!(report.stats[1].ops, 2);
+    }
+
+    #[test]
+    fn chaos_kill_terminates_every_rank() {
+        let cfg = RunConfig::default()
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(FaultPlan::new().kill_rank_at_op(0, 1));
+        let report = run_with(3, &cfg, |ctx| {
+            ctx.barrier();
+            ctx.rank()
+        });
+        match report.results[0].as_ref().unwrap_err() {
+            CommError::Failed { rank: 0, payload } => {
+                assert!(payload.contains("killed at op 1"), "{payload}");
+            }
+            other => panic!("victim: {other:?}"),
+        }
+        for r in [1usize, 2] {
+            assert!(
+                matches!(
+                    report.results[r].as_ref().unwrap_err(),
+                    CommError::PeerFailed { rank: 0, .. }
+                ),
+                "rank {r}: {:?}",
+                report.results[r]
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_drop_detected_by_watchdog() {
+        let cfg = RunConfig::default()
+            .with_watchdog(Duration::from_millis(150))
+            .with_faults(FaultPlan::new().drop_nth_send(0, 0));
+        let report = run_with(2, &cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, 1u8);
+            } else {
+                let _ = ctx.recv::<u8>(0, 5);
+            }
+        });
+        assert!(report.results[0].is_ok());
+        assert!(report.results[1].as_ref().unwrap_err().is_timeout());
+        assert_eq!(report.stats[0].fault_dropped, 1);
+        assert_eq!(report.stats[0].msgs_sent, 0);
+    }
+
+    #[test]
+    fn run_infallible_matches_run_on_success() {
+        let a = run_infallible(4, |ctx| ctx.allreduce(ctx.rank(), |x, y| x + y));
+        let b: Vec<usize> = run(4, |ctx| ctx.allreduce(ctx.rank(), |x, y| x + y))
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(a, b);
     }
 }

@@ -1,0 +1,79 @@
+//! Per-rank communication counters.
+//!
+//! Every [`crate::Ctx`] accumulates a [`CommStats`] — message and byte
+//! counts, collective entries, and the high-water mark of the
+//! out-of-order buffer — surfaced per rank by
+//! [`crate::RunReport::stats`]. The counters exist for two consumers:
+//! chaos tests asserting that injected faults actually happened
+//! (drops, delays), and future observability work (the ROADMAP's
+//! production north star needs per-rank traffic accounting before any
+//! sharding decision can be data-driven).
+
+/// Approximate wire size of a message, in bytes.
+///
+/// The blanket implementation reports the shallow `size_of_val`, which
+/// is exact for plain-old-data messages and a documented *lower bound*
+/// for heap-owning payloads (`Vec`, matrices): stable Rust has no
+/// specialization, so a deep-size override per type cannot coexist
+/// with a blanket default. Counters built on this are therefore
+/// reliable for message *counts* and comparative traffic shape, not
+/// exact byte volumes.
+pub trait MessageSize {
+    /// Approximate size in bytes (default: shallow `size_of_val`).
+    fn message_size(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+impl<T> MessageSize for T {}
+
+/// Communication counters for one rank over one [`crate::run_with`]
+/// execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point and collective messages enqueued by this rank
+    /// (messages dropped by a [`crate::FaultPlan`] are *not* counted
+    /// here — see [`CommStats::fault_dropped`]).
+    pub msgs_sent: u64,
+    /// Messages consumed by this rank (matched receives; buffered
+    /// messages count when they are finally matched).
+    pub msgs_received: u64,
+    /// Bytes enqueued, per [`MessageSize`].
+    pub bytes_sent: u64,
+    /// Bytes consumed, per [`MessageSize`].
+    pub bytes_received: u64,
+    /// Collective operations entered (barrier, broadcast, allgather,
+    /// reduce, allreduce).
+    pub collectives: u64,
+    /// Total communication operations (sends + receives + collective
+    /// entries) — the op counter chaos kills index into.
+    pub ops: u64,
+    /// High-water mark of the out-of-order pending buffer.
+    pub max_pending: usize,
+    /// Messages silently dropped by the fault plan.
+    pub fault_dropped: u64,
+    /// Deliveries delayed by the fault plan.
+    pub fault_delayed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shallow_sizes() {
+        assert_eq!(7u64.message_size(), 8);
+        assert_eq!((1u32, 2u32).message_size(), 8);
+        // Shallow: a Vec reports its header, not its heap (documented
+        // lower bound).
+        let v = vec![0f64; 100];
+        assert_eq!(v.message_size(), std::mem::size_of::<Vec<f64>>());
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = CommStats::default();
+        assert_eq!(s.msgs_sent, 0);
+        assert_eq!(s.max_pending, 0);
+    }
+}

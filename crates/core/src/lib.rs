@@ -33,10 +33,14 @@ pub use lucrtp::{
     LuCrtpResult, OrderingMode, ThresholdReport,
 };
 pub use qb::{rand_qb_ei, QbError, QbOpts, QbResult, QB_INDICATOR_FLOOR};
-pub use spmd::{ilut_crtp_dist, ilut_crtp_spmd, lu_crtp_dist, lu_crtp_spmd};
+pub use spmd::{
+    ilut_crtp_dist, ilut_crtp_dist_checked, ilut_crtp_spmd, lu_crtp_dist, lu_crtp_dist_checked,
+    lu_crtp_spmd,
+};
 pub use timers::{KernelId, KernelTimers, ALL_KERNELS, N_KERNELS};
 pub use ubv::{rand_ubv, UbvOpts, UbvResult};
 
 // Re-export the option types callers need alongside.
+pub use lra_comm::{CommError, CommStats, FaultPlan, RunConfig};
 pub use lra_par::Parallelism;
 pub use lra_qrtp::TournamentTree;

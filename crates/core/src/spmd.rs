@@ -17,7 +17,7 @@ use crate::lucrtp::{
     ThresholdReport,
 };
 use crate::timers::KernelTimers;
-use lra_comm::Ctx;
+use lra_comm::{CommError, Ctx, RunConfig};
 use lra_dense::{lu, qr, DenseMatrix};
 use lra_ordering::fill_reducing_order;
 use lra_par::{split_ranges, Parallelism};
@@ -47,10 +47,23 @@ pub fn ilut_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult
     drive_spmd(ctx, a, &opts.base.clone(), Some(state))
 }
 
-/// Convenience wrapper for [`ilut_crtp_spmd`] on `np` ranks.
+/// Convenience wrapper for [`ilut_crtp_spmd`] on `np` ranks. Panics if
+/// any rank fails; use [`ilut_crtp_dist_checked`] to observe failures.
 pub fn ilut_crtp_dist(a: &CscMatrix, opts: &IlutOpts, np: usize) -> LuCrtpResult {
-    let mut results = lra_comm::run(np, |ctx| ilut_crtp_spmd(ctx, a, opts));
+    let mut results = lra_comm::run_infallible(np, |ctx| ilut_crtp_spmd(ctx, a, opts));
     results.swap_remove(0)
+}
+
+/// Fault-aware variant of [`ilut_crtp_dist`]: runs under an explicit
+/// [`RunConfig`] (watchdog window, chaos [`lra_comm::FaultPlan`]) and
+/// returns every rank's outcome instead of panicking on failure.
+pub fn ilut_crtp_dist_checked(
+    a: &CscMatrix,
+    opts: &IlutOpts,
+    np: usize,
+    config: &RunConfig,
+) -> Vec<Result<LuCrtpResult, CommError>> {
+    lra_comm::run_with(np, config, |ctx| ilut_crtp_spmd(ctx, a, opts)).results
 }
 
 struct SpmdIlutState {
@@ -462,10 +475,25 @@ fn drive_spmd(
 
 /// Convenience wrapper: run [`lu_crtp_spmd`] on `np` ranks and return
 /// rank 0's result. The tournament tree option is implicit (the SPMD
-/// driver always reduces over the binomial rank tree).
+/// driver always reduces over the binomial rank tree). Panics if any
+/// rank fails; use [`lu_crtp_dist_checked`] to observe failures.
 pub fn lu_crtp_dist(a: &CscMatrix, opts: &LuCrtpOpts, np: usize) -> LuCrtpResult {
     let _ = TournamentTree::Binary;
-    let mut results = lra_comm::run(np, |ctx| lu_crtp_spmd(ctx, a, opts));
+    let mut results = lra_comm::run_infallible(np, |ctx| lu_crtp_spmd(ctx, a, opts));
     results.swap_remove(0)
+}
+
+/// Fault-aware variant of [`lu_crtp_dist`]: runs under an explicit
+/// [`RunConfig`] (watchdog window, chaos [`lra_comm::FaultPlan`]) and
+/// returns every rank's outcome. A rank killed mid-factorization
+/// surfaces as [`CommError::Failed`] on the victim and
+/// [`CommError::PeerFailed`] on every surviving rank — no hang.
+pub fn lu_crtp_dist_checked(
+    a: &CscMatrix,
+    opts: &LuCrtpOpts,
+    np: usize,
+    config: &RunConfig,
+) -> Vec<Result<LuCrtpResult, CommError>> {
+    lra_comm::run_with(np, config, |ctx| lu_crtp_spmd(ctx, a, opts)).results
 }
 

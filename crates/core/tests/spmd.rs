@@ -27,7 +27,7 @@ fn spmd_converges_and_meets_tolerance() {
 #[test]
 fn spmd_all_ranks_return_identical_results() {
     let a = test_matrix();
-    let results = lra_comm::run(4, |ctx| {
+    let results = lra_comm::run_infallible(4, |ctx| {
         let r = lra_core::lu_crtp_spmd(ctx, &a, &LuCrtpOpts::new(8, 1e-2));
         (r.rank, r.pivot_cols, r.indicator.to_bits(), r.l.nnz())
     });

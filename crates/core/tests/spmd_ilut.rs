@@ -31,7 +31,7 @@ fn spmd_ilut_converges_with_bounded_error() {
 #[test]
 fn spmd_ilut_ranks_agree_and_drop_identically() {
     let a = fill_heavy();
-    let results = lra_comm::run(4, |ctx| {
+    let results = lra_comm::run_infallible(4, |ctx| {
         let r = lra_core::ilut_crtp_spmd(ctx, &a, &IlutOpts::new(8, 1e-2, 4));
         let rep = r.threshold.as_ref().unwrap();
         (

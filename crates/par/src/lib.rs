@@ -127,9 +127,11 @@ where
         return;
     }
     let next = AtomicUsize::new(0);
-    crossbeam_utils::thread::scope(|scope| {
+    // A worker panic unwinds out of `scope` after the remaining
+    // workers drain their chunks (std scopes join before propagating).
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let c = next.fetch_add(1, Ordering::Relaxed);
                 if c >= nchunks {
                     break;
@@ -139,8 +141,7 @@ where
                 body(start..end);
             });
         }
-    })
-    .expect("parallel_for worker panicked");
+    });
 }
 
 /// Map every chunk of `0..n` through `body` and combine the per-chunk
@@ -199,11 +200,11 @@ where
     {
         let slots_ptr = SendPtr(slots.as_mut_ptr());
         let next = AtomicUsize::new(0);
-        crossbeam_utils::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
                 let next = &next;
                 let body = &body;
-                scope.spawn(move |_| loop {
+                scope.spawn(move || loop {
                     let c = next.fetch_add(1, Ordering::Relaxed);
                     if c >= nchunks {
                         break;
@@ -216,8 +217,7 @@ where
                     unsafe { *slots_ptr.get().add(c) = Some(val) };
                 });
             }
-        })
-        .expect("parallel_map_fold worker panicked");
+        });
     }
     let mut acc = init;
     for slot in slots {
@@ -261,11 +261,11 @@ where
     }
     let base = SendPtr(data.as_mut_ptr());
     let next = AtomicUsize::new(0);
-    crossbeam_utils::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let next = &next;
             let body = &body;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let c = next.fetch_add(1, Ordering::Relaxed);
                 if c >= nchunks {
                     break;
@@ -278,8 +278,7 @@ where
                 body(c, chunk);
             });
         }
-    })
-    .expect("parallel_chunks_mut worker panicked");
+    });
 }
 
 /// Run two closures potentially in parallel and return both results.
@@ -295,13 +294,12 @@ where
         let rb = b();
         return (ra, rb);
     }
-    crossbeam_utils::thread::scope(|scope| {
-        let hb = scope.spawn(|_| b());
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
         let ra = a();
         let rb = hb.join().expect("join worker panicked");
         (ra, rb)
     })
-    .expect("join scope panicked")
 }
 
 /// Raw pointer wrapper that is `Send`/`Sync`; used only for writes to

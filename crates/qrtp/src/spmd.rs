@@ -129,7 +129,7 @@ mod tests {
     fn all_ranks_agree() {
         let a = rand_sparse(100, 48, 4, 1);
         for np in [1usize, 2, 4, 7] {
-            let results = lra_comm::run(np, |ctx| {
+            let results = lra_comm::run_infallible(np, |ctx| {
                 tournament_columns_spmd(ctx, &a, None, 8).selected
             });
             for r in &results[1..] {
@@ -150,7 +150,7 @@ mod tests {
         let deps = matmul(&base, &mix, lra_par::Parallelism::SEQ);
         let full = base.hcat(&deps);
         let a = CscMatrix::from_dense(&full);
-        let results = lra_comm::run(4, |ctx| {
+        let results = lra_comm::run_infallible(4, |ctx| {
             tournament_columns_spmd(ctx, &a, None, 5).selected
         });
         let picked = full.select_columns(&results[0]);
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn more_ranks_than_candidates() {
         let a = rand_sparse(30, 5, 3, 4);
-        let results = lra_comm::run(8, |ctx| {
+        let results = lra_comm::run_infallible(8, |ctx| {
             tournament_columns_spmd(ctx, &a, None, 3).selected
         });
         assert_eq!(results[0].len(), 3);
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn r_diag_broadcast_everywhere() {
         let a = rand_sparse(64, 32, 4, 5);
-        let results = lra_comm::run(3, |ctx| {
+        let results = lra_comm::run_infallible(3, |ctx| {
             tournament_columns_spmd(ctx, &a, None, 4).r_diag
         });
         assert!(!results[0].is_empty());

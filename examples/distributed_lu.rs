@@ -37,7 +37,7 @@ fn main() {
 
     for np in [1usize, 2, 4] {
         let t = std::time::Instant::now();
-        let per_rank = lra::comm::run(np, |ctx| {
+        let per_rank = lra::comm::run_infallible(np, |ctx| {
             let r = lu_crtp_spmd(ctx, &a, &LuCrtpOpts::new(k, tau));
             (ctx.rank(), r.rank, r.factor_nnz(), r.indicator)
         });

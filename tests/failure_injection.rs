@@ -3,10 +3,11 @@
 //! rather than panic or loop.
 
 use lra::core::{
-    ilut_crtp, lu_crtp, rand_qb_ei, rand_ubv, Breakdown, IlutOpts, LuCrtpOpts, Parallelism,
-    QbOpts, UbvOpts,
+    ilut_crtp, lu_crtp, lu_crtp_dist_checked, rand_qb_ei, rand_ubv, Breakdown, CommError,
+    FaultPlan, IlutOpts, LuCrtpOpts, Parallelism, QbOpts, RunConfig, UbvOpts, ALL_KERNELS,
 };
 use lra::sparse::{CooMatrix, CscMatrix};
+use std::time::Duration;
 
 #[test]
 fn qb_on_zero_matrix() {
@@ -145,4 +146,80 @@ fn comm_spmd_with_more_ranks_than_work() {
     let r = lra::core::lu_crtp_dist(&a, &LuCrtpOpts::new(2, 1e-9), 8);
     assert!(r.converged, "{:?}", r.breakdown);
     assert!(r.rank <= 4);
+}
+
+/// Sanity check used by the fault tests below: every recorded kernel
+/// duration is finite and accounted for in the total.
+fn assert_timers_well_formed(r: &lra::core::LuCrtpResult) {
+    let total = r.timers.total();
+    let mut sum = Duration::ZERO;
+    for k in ALL_KERNELS {
+        let d = r.timers.get(k);
+        assert!(d <= total, "kernel {} exceeds total", k.label());
+        sum += d;
+    }
+    assert_eq!(sum, total, "per-kernel durations must sum to total");
+}
+
+/// A rank chaos-killed during the distributed factorization (its op
+/// counter lands inside the column-tournament reductions) must yield
+/// an error *report* — victim `Failed`, survivors `PeerFailed`, nobody
+/// hung past the watchdog — and any rank that did complete must carry
+/// well-formed timers.
+#[test]
+fn lucrtp_dist_rank_killed_mid_tournament_reports_errors() {
+    let a = lra::matgen::spectrum(48, 40, &[5.0, 2.0, 1.0, 0.4, 0.1], 6, 3);
+    let np = 4;
+    let victim = 2;
+    // Op 5 sits inside the first tournament's reduction rounds (the
+    // SPMD driver's first collectives): the peers are mid-collective
+    // when the victim dies.
+    let cfg = RunConfig::default()
+        .with_watchdog(Duration::from_secs(10))
+        .with_faults(FaultPlan::new().kill_rank_at_op(victim, 5));
+    let results = lu_crtp_dist_checked(&a, &LuCrtpOpts::new(4, 1e-8), np, &cfg);
+    assert_eq!(results.len(), np);
+    match results[victim].as_ref().unwrap_err() {
+        CommError::Failed { rank, payload } => {
+            assert_eq!(*rank, victim);
+            assert!(payload.contains("killed at op 5"), "{payload}");
+        }
+        other => panic!("victim: {other:?}"),
+    }
+    for (r, res) in results.iter().enumerate() {
+        if r == victim {
+            continue;
+        }
+        match res {
+            // The common outcome: aborted by the poison broadcast,
+            // attributed to the victim.
+            Err(e) => {
+                assert!(e.is_peer_failure(), "rank {r}: {e:?}");
+                assert_eq!(e.origin_rank(), victim, "rank {r}: {e:?}");
+            }
+            // A rank that raced past its last communication before the
+            // poison landed still returns a usable result.
+            Ok(out) => assert_timers_well_formed(out),
+        }
+    }
+}
+
+/// Chaos delivery delays perturb the SPMD schedule but must not change
+/// the factorization: results and timers stay well-formed and the
+/// factorization matches the undelayed run rank-for-rank.
+#[test]
+fn lucrtp_dist_survives_chaos_delays_with_wellformed_timers() {
+    let a = lra::matgen::spectrum(40, 32, &[4.0, 1.5, 0.6, 0.2], 5, 11);
+    let opts = LuCrtpOpts::new(4, 1e-8);
+    let reference = lra::core::lu_crtp_dist(&a, &opts, 4);
+    let cfg = RunConfig::default()
+        .with_watchdog(Duration::from_secs(20))
+        .with_faults(FaultPlan::new().delay_deliveries(99, Duration::from_micros(200)));
+    let results = lu_crtp_dist_checked(&a, &opts, 4, &cfg);
+    for (r, res) in results.iter().enumerate() {
+        let out = res.as_ref().unwrap_or_else(|e| panic!("rank {r}: {e}"));
+        assert_eq!(out.rank, reference.rank, "rank {r}");
+        assert_eq!(out.converged, reference.converged, "rank {r}");
+        assert_timers_well_formed(out);
+    }
 }

@@ -34,7 +34,7 @@ fn spmd_tournament_agrees_with_shared_memory_quality() {
         TournamentTree::Binary,
         Parallelism::new(4),
     );
-    let spmd = lra::comm::run(4, |ctx| {
+    let spmd = lra::comm::run_infallible(4, |ctx| {
         lra::qrtp::tournament_columns_spmd(ctx, &a, None, k).selected
     });
     // Different merge orders may pick different columns, but both picks

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot fetch crates, so the workspace vendors
+//! the API surface its benches use: [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark
+//! body is warmed up once and then timed over a handful of iterations;
+//! the median is printed as `group/bench ... time: <t>`. No statistics,
+//! HTML reports, or command-line filtering — just enough to keep
+//! `cargo bench` compiling and producing comparable wall-clock numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, keeping the median of a few samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also forces lazy setup work out of the timing).
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion-compatible
+    /// knob; small values keep offline runs fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 100);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples.min(5),
+            last: None,
+        };
+        f(&mut b);
+        let time = b
+            .last
+            .map(fmt_duration)
+            .unwrap_or_else(|| "<no iter() call>".to_string());
+        println!("{}/{:<24} time: {}", self.name, id, time);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    /// Benchmark a closure against an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run_one(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (formatting separator only).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for compatibility; there is no CLI offline.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 5,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.to_string();
+        let mut g = self.benchmark_group(&name);
+        g.run_one(String::new(), f);
+        self
+    }
+}
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running one or more [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,431 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates, so the workspace vendors
+//! the subset of proptest it uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], the [`proptest!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, and [`prelude::ProptestConfig`] with
+//! `with_cases`.
+//!
+//! Differences from the real crate, on purpose:
+//! - **Deterministic**: cases are generated from a fixed seed mixed
+//!   with the test name, so failures are reproducible by rerunning the
+//!   same test (no `PROPTEST_` env machinery).
+//! - **No shrinking**: a failing case reports its case index and the
+//!   seed; rerunning reproduces it exactly, which is enough to debug.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// The generation source handed to strategies (wraps the vendored
+/// deterministic RNG).
+pub struct TestSource {
+    rng: StdRng,
+}
+
+impl TestSource {
+    /// Build a source for `test_name`, case `case` (deterministic).
+    pub fn new(test_name: &str, case: u32) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestSource {
+            rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32) ^ 0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Raw bits, for strategy implementations.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    #[inline]
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A generator of values of one type (subset of `proptest::Strategy`).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, src: &mut TestSource) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chain into a dependent strategy.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, src: &mut TestSource) -> O {
+        (self.f)(self.inner.generate(src))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, src: &mut TestSource) -> S2::Value {
+        (self.f)(self.inner.generate(src)).generate(src)
+    }
+}
+
+/// A fixed value (`Just`).
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _src: &mut TestSource) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut TestSource) -> $t {
+                src.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, src: &mut TestSource) -> $t {
+                src.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, src: &mut TestSource) -> f64 {
+        src.rng().gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, src: &mut TestSource) -> f64 {
+        src.rng().gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, src: &mut TestSource) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(src),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies (subset: `vec`).
+pub mod collection {
+    use super::{Strategy, TestSource};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Something that yields a length for a generated collection.
+    pub trait SizeRange {
+        /// Draw a size.
+        fn pick(&self, src: &mut TestSource) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _src: &mut TestSource) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, src: &mut TestSource) -> usize {
+            src.rng().gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, src: &mut TestSource) -> usize {
+            src.rng().gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, src: &mut TestSource) -> Vec<S::Value> {
+            let n = self.size.pick(src);
+            (0..n).map(|_| self.element.generate(src)).collect()
+        }
+    }
+
+}
+
+/// Test-runner types (subset: the config and the case error).
+pub mod test_runner {
+    use std::fmt;
+
+    /// Number of generated cases per property.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// How many cases [`crate::proptest!`] runs per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case failed.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// `use proptest::prelude::*;` — everything the property tests need.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Declare property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0usize..10, v in collection::vec(0.0f64..1.0, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::Config::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident (
+        $($arg:pat in $strat:expr),+ $(,)?
+    ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                for case in 0..cfg.cases {
+                    let mut __src =
+                        $crate::TestSource::new(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strat, &mut __src);
+                    )+
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| { $body Ok(()) })();
+                    if let Err(e) = __outcome {
+                        panic!(
+                            "property '{}' failed at deterministic case {}/{}: {}",
+                            stringify!($name), case, cfg.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current generated case instead of
+/// panicking directly (reported with the case index).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`",
+                stringify!($a),
+                stringify!($b)
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// `assert_ne!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`",
+                stringify!($a),
+                stringify!($b)
+            )));
+        }
+    }};
+}
+
+impl fmt::Debug for TestSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TestSource")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let s = 1usize..=10;
+        let mut a = crate::TestSource::new("t", 0);
+        let mut b = crate::TestSource::new("t", 0);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 2usize..=9, f in -1.0f64..1.0) {
+            prop_assert!((2..=9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn flat_map_and_vec_compose(
+            v in (1usize..=5).prop_flat_map(|n| {
+                crate::collection::vec(0.0f64..1.0, n).prop_map(move |d| (n, d))
+            })
+        ) {
+            prop_assert_eq!(v.0, v.1.len());
+            for x in &v.1 {
+                prop_assert!((0.0..1.0).contains(x));
+            }
+        }
+
+        #[test]
+        fn early_return_ok_works(x in 0usize..4) {
+            if x == 0 { return Ok(()); }
+            prop_assert!(x > 0);
+        }
+    }
+}
