@@ -22,37 +22,61 @@ pub struct BenchConfig {
     pub tsvd: bool,
 }
 
+/// One-line usage string shared by every benchmark binary.
+pub const USAGE: &str = "usage: <bench> [--scale N] [--np N] [--large] [--quick] [--tsvd]";
+
 impl BenchConfig {
-    /// Parse from `std::env::args` (flags: `--scale N`, `--large`,
-    /// `--quick`, `--np N`, `--tsvd`).
-    pub fn from_args() -> Self {
-        let mut cfg = BenchConfig {
+    /// Defaults: scale 1, all hardware threads, nothing optional.
+    pub fn defaults() -> Self {
+        BenchConfig {
             scale: 1,
             large: false,
             quick: false,
             max_np: lra_par::available_parallelism(),
             tsvd: false,
+        }
+    }
+
+    /// Parse flags (`--scale N`, `--np N`, `--large`, `--quick`,
+    /// `--tsvd`) from an argument slice *excluding* the program name.
+    /// Unrecognized flags, missing values and unparsable numbers are
+    /// errors, not panics.
+    pub fn parse_args(args: &[String]) -> Result<Self, String> {
+        let mut cfg = Self::defaults();
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<usize, String> {
+            *i += 1;
+            let raw = args
+                .get(*i)
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            raw.parse()
+                .map_err(|_| format!("{flag} expects a positive integer, got {raw:?}"))
         };
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
-                "--scale" => {
-                    i += 1;
-                    cfg.scale = args[i].parse().expect("--scale N");
-                }
-                "--np" => {
-                    i += 1;
-                    cfg.max_np = args[i].parse().expect("--np N");
-                }
+                "--scale" => cfg.scale = value(&mut i, "--scale")?,
+                "--np" => cfg.max_np = value(&mut i, "--np")?,
                 "--large" => cfg.large = true,
                 "--quick" => cfg.quick = true,
                 "--tsvd" => cfg.tsvd = true,
-                other => panic!("unknown flag {other}"),
+                other => return Err(format!("unknown flag {other:?}")),
             }
             i += 1;
         }
-        cfg
+        Ok(cfg)
+    }
+
+    /// Parse from `std::env::args`. On any parse error, prints the
+    /// error and [`USAGE`] to stderr and exits with status 2 (it used
+    /// to panic on unrecognized arguments, burying the usage line in a
+    /// backtrace).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_args(&args).unwrap_or_else(|err| {
+            eprintln!("error: {err}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        })
     }
 
     /// Full parallelism under the configured cap.
@@ -118,6 +142,34 @@ mod tests {
         assert_eq!(numerical_rank(&s, 10, 10), 2);
         assert_eq!(numerical_rank(&[], 3, 3), 0);
         assert_eq!(numerical_rank(&[0.0], 3, 3), 0);
+    }
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_accepts_known_flags() {
+        let cfg = BenchConfig::parse_args(&sv(&["--scale", "3", "--quick", "--np", "7"])).unwrap();
+        assert_eq!(cfg.scale, 3);
+        assert_eq!(cfg.max_np, 7);
+        assert!(cfg.quick);
+        assert!(!cfg.large);
+        assert!(!cfg.tsvd);
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flag() {
+        let err = BenchConfig::parse_args(&sv(&["--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn parse_args_rejects_missing_or_bad_value() {
+        let err = BenchConfig::parse_args(&sv(&["--scale"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let err = BenchConfig::parse_args(&sv(&["--np", "many"])).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
     }
 
     #[test]

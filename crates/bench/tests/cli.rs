@@ -1,0 +1,42 @@
+//! End-to-end CLI behavior of the bench binaries: bad arguments must
+//! produce a usage message and a non-zero exit, not a panic backtrace.
+
+use std::process::Command;
+
+#[test]
+fn unknown_flag_prints_usage_and_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .arg("--bogus")
+        .output()
+        .expect("spawn bench_suite");
+    assert_eq!(out.status.code(), Some(2), "status: {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--bogus"), "stderr: {stderr}");
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn missing_flag_value_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .args(["--scale"])
+        .output()
+        .expect("spawn bench_suite");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("requires a value"), "stderr: {stderr}");
+}
+
+#[test]
+fn validate_rejects_malformed_report() {
+    let dir = std::env::temp_dir().join("lra_bench_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    std::fs::write(&path, "{\"schema_version\":1}").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_suite"))
+        .args(["--validate", path.to_str().unwrap()])
+        .output()
+        .expect("spawn bench_suite");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid report"), "stderr: {stderr}");
+}

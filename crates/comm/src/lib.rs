@@ -315,6 +315,7 @@ impl Ctx {
             // Chaos plan: silently lose the message. Detection is the
             // receiver watchdog's job.
             self.stats.borrow_mut().fault_dropped += 1;
+            lra_obs::trace::instant("comm.fault_drop");
             return Ok(());
         }
         let bytes = msg.message_size();
@@ -401,6 +402,7 @@ impl Ctx {
 
     /// Watchdog diagnostic for a receive stuck on `(src, tag)`.
     fn timeout_error(&self, src: usize, tag: u64) -> CommError {
+        lra_obs::trace::instant("comm.watchdog_timeout");
         let pending: Vec<(usize, u64)> = self
             .pending
             .borrow()
@@ -438,7 +440,9 @@ impl Ctx {
     }
 
     /// Run a collective body with the program-counter bookkeeping the
-    /// watchdog diagnostics rely on.
+    /// watchdog diagnostics rely on. Each collective is a trace span on
+    /// this rank's lane (a relaxed atomic no-op when `LRA_TRACE` is
+    /// unset), so reduction trees show up as per-rank timeline bars.
     fn collective<V>(
         &self,
         name: &'static str,
@@ -447,7 +451,7 @@ impl Ctx {
         self.coll_pc.set(self.coll_pc.get() + 1);
         self.stats.borrow_mut().collectives += 1;
         let prev = self.in_collective.replace(Some(name));
-        let out = body();
+        let out = lra_obs::trace::span(name, body);
         self.in_collective.set(prev);
         out
     }
@@ -606,6 +610,7 @@ impl Ctx {
     /// cell and wake every blocked peer with a poison envelope.
     fn poison_peers(&self, payload: String) {
         if self.control.try_poison(self.rank, payload) {
+            lra_obs::trace::instant("comm.poison_broadcast");
             for (dst, sender) in self.senders.iter().enumerate() {
                 if dst == self.rank {
                     continue;
@@ -684,6 +689,7 @@ where
 {
     let np = np.max(1);
     install_quiet_hook();
+    lra_obs::trace::init_from_env();
     let mut senders = Vec::with_capacity(np);
     let mut receivers = Vec::with_capacity(np);
     for _ in 0..np {
@@ -701,6 +707,9 @@ where
             .enumerate()
             .map(|(rank, inbox)| {
                 scope.spawn(move || {
+                    // One trace lane per rank: SPMD runs export as one
+                    // timeline lane per rank in the Chrome trace.
+                    lra_obs::trace::set_lane(rank as u64);
                     let ctx = Ctx {
                         rank,
                         size: np,
@@ -751,6 +760,11 @@ where
         results.push(r);
         stats.push(s);
     }
+    // Flush the accumulated trace whenever LRA_TRACE is set, so any
+    // SPMD program is traceable without its own harness code. The
+    // writer snapshots (does not drain), so a later run — or a bench
+    // harness's final flush — rewrites the file with a superset.
+    let _ = lra_obs::trace::flush_to_env_path();
     RunReport { results, stats }
 }
 

@@ -56,6 +56,34 @@ pub struct CommStats {
     pub fault_delayed: u64,
 }
 
+impl CommStats {
+    /// Feed this rank's counters into a unified
+    /// [`lra_obs::MetricsRegistry`] under `comm.rank{rank}.*`, and
+    /// accumulate the cross-rank totals under `comm.total.*` (calling
+    /// this once per rank of a [`crate::RunReport`] yields both the
+    /// per-rank shape and the aggregate traffic volume).
+    pub fn export_metrics(&self, reg: &lra_obs::MetricsRegistry, rank: usize) {
+        let counters: [(&str, u64); 8] = [
+            ("msgs_sent", self.msgs_sent),
+            ("msgs_received", self.msgs_received),
+            ("bytes_sent", self.bytes_sent),
+            ("bytes_received", self.bytes_received),
+            ("collectives", self.collectives),
+            ("ops", self.ops),
+            ("fault_dropped", self.fault_dropped),
+            ("fault_delayed", self.fault_delayed),
+        ];
+        for (name, value) in counters {
+            reg.inc_counter(&format!("comm.rank{rank}.{name}"), value);
+            reg.inc_counter(&format!("comm.total.{name}"), value);
+        }
+        reg.set_gauge(
+            &format!("comm.rank{rank}.max_pending"),
+            self.max_pending as f64,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +103,40 @@ mod tests {
         let s = CommStats::default();
         assert_eq!(s.msgs_sent, 0);
         assert_eq!(s.max_pending, 0);
+    }
+
+    #[test]
+    fn export_metrics_writes_per_rank_and_totals() {
+        let reg = lra_obs::MetricsRegistry::new();
+        let a = CommStats {
+            msgs_sent: 3,
+            bytes_sent: 24,
+            max_pending: 2,
+            ..CommStats::default()
+        };
+        let b = CommStats {
+            msgs_sent: 1,
+            bytes_sent: 8,
+            ..CommStats::default()
+        };
+        a.export_metrics(&reg, 0);
+        b.export_metrics(&reg, 1);
+        use lra_obs::MetricValue;
+        assert_eq!(
+            reg.get("comm.rank0.msgs_sent"),
+            Some(MetricValue::Counter(3))
+        );
+        assert_eq!(
+            reg.get("comm.rank1.msgs_sent"),
+            Some(MetricValue::Counter(1))
+        );
+        assert_eq!(
+            reg.get("comm.total.bytes_sent"),
+            Some(MetricValue::Counter(32))
+        );
+        assert_eq!(
+            reg.get("comm.rank0.max_pending"),
+            Some(MetricValue::Gauge(2.0))
+        );
     }
 }

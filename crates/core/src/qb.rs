@@ -171,6 +171,10 @@ pub fn rand_qb_ei(a: &CscMatrix, opts: &QbOpts) -> Result<QbResult, QbError> {
     if opts.tau < QB_INDICATOR_FLOOR {
         return Err(QbError::TauBelowIndicatorFloor { tau: opts.tau });
     }
+    lra_obs::trace::span("rand_qb_ei", || rand_qb_ei_inner(a, opts))
+}
+
+fn rand_qb_ei_inner(a: &CscMatrix, opts: &QbOpts) -> Result<QbResult, QbError> {
     let m = a.rows();
     let n = a.cols();
     let k = opts.k.min(m).min(n).max(1);

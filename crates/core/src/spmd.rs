@@ -28,7 +28,7 @@ use lra_sparse::CscMatrix;
 /// inside an [`lra_comm::run`] region; every rank returns the same
 /// result. `opts.par` is ignored (parallelism comes from the ranks).
 pub fn lu_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
-    drive_spmd(ctx, a, opts, None)
+    lra_obs::trace::span("lu_crtp_spmd", || drive_spmd(ctx, a, opts, None))
 }
 
 /// SPMD ILUT_CRTP (Algorithm 3 over ranks): identical distribution to
@@ -44,7 +44,9 @@ pub fn ilut_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult
         dropped: 0,
         control_triggered: false,
     };
-    drive_spmd(ctx, a, &opts.base.clone(), Some(state))
+    lra_obs::trace::span("ilut_crtp_spmd", || {
+        drive_spmd(ctx, a, &opts.base.clone(), Some(state))
+    })
 }
 
 /// Convenience wrapper for [`ilut_crtp_spmd`] on `np` ranks. Panics if

@@ -94,10 +94,13 @@ impl KernelTimers {
     /// Time a closure under the given kernel bucket. When `lra-par`
     /// cost recording is active, the closure also runs inside a
     /// [`lra_par::label_scope`] so simulated per-kernel breakdowns
-    /// (Figs. 5-6) can be derived from the same run.
+    /// (Figs. 5-6) can be derived from the same run. When span tracing
+    /// is enabled (`LRA_TRACE`), the same closure is also a trace span
+    /// labelled with the kernel name — one instrumentation point feeds
+    /// both the accumulated buckets and the per-rank timeline.
     pub fn time<T>(&mut self, id: KernelId, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
-        let out = lra_par::label_scope(id.label(), f);
+        let out = lra_obs::trace::span(id.label(), || lra_par::label_scope(id.label(), f));
         self.accum[id as usize] += start.elapsed();
         out
     }
@@ -126,6 +129,30 @@ impl KernelTimers {
             .collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         v
+    }
+
+    /// [`KernelTimers::report`] plus a final `other` bucket holding
+    /// `wall_s - total()` (clamped at zero), so the buckets always sum
+    /// to the end-to-end wall time — the invariant the `BENCH_*.json`
+    /// validator checks.
+    pub fn report_with_other(&self, wall_s: f64) -> Vec<(&'static str, f64)> {
+        let mut v = self.report();
+        v.push(("other", (wall_s - self.total().as_secs_f64()).max(0.0)));
+        v
+    }
+
+    /// Feed the accumulated buckets into a unified metrics registry as
+    /// histogram observations `kernel.{label}_s` (one observation per
+    /// call, so repeated algorithm runs aggregate into count/sum/min/
+    /// max across the sweep) plus a `{prefix}.kernels_total_s` gauge.
+    pub fn export_metrics(&self, reg: &lra_obs::MetricsRegistry, prefix: &str) {
+        for (label, secs) in self.report() {
+            reg.observe(&format!("kernel.{label}_s"), secs);
+        }
+        reg.set_gauge(
+            &format!("{prefix}.kernels_total_s"),
+            self.total().as_secs_f64(),
+        );
     }
 }
 
@@ -156,6 +183,40 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].0, "orth");
         assert!(r[0].1 >= r[1].1);
+    }
+
+    #[test]
+    fn report_with_other_sums_to_wall() {
+        let mut t = KernelTimers::new();
+        t.add(KernelId::Sketch, Duration::from_millis(40));
+        t.add(KernelId::Orth, Duration::from_millis(10));
+        let wall = 0.08;
+        let r = t.report_with_other(wall);
+        assert_eq!(r.last().unwrap().0, "other");
+        let sum: f64 = r.iter().map(|(_, s)| s).sum();
+        assert!((sum - wall).abs() < 1e-12, "{sum} vs {wall}");
+        // Wall below the kernel total clamps `other` at zero.
+        let r2 = t.report_with_other(0.01);
+        assert_eq!(r2.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn export_metrics_observes_buckets() {
+        let mut t = KernelTimers::new();
+        t.add(KernelId::Schur, Duration::from_millis(20));
+        let reg = lra_obs::MetricsRegistry::new();
+        t.export_metrics(&reg, "lu_crtp");
+        match reg.get("kernel.schur_s") {
+            Some(lra_obs::MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert!((h.sum - 0.02).abs() < 1e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            reg.get("lu_crtp.kernels_total_s"),
+            Some(lra_obs::MetricValue::Gauge(_))
+        ));
     }
 
     #[test]

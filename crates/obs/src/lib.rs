@@ -1,0 +1,37 @@
+//! Unified observability layer: span tracing, metrics, bench reports.
+//!
+//! The repository previously had three disjoint measurement systems —
+//! per-kernel wall-clock buckets (`lra_core::KernelTimers`), per-rank
+//! communication counters (`lra_comm::CommStats`), and the LPT
+//! strong-scaling simulator (`lra_par::Profile`) — and the benchmark
+//! binaries emitted only free-form text. This crate unifies them:
+//!
+//! - [`trace`] — hierarchical span tracing with per-rank timelines.
+//!   Spans carry a lane id (the SPMD rank), a label, and their parent
+//!   span. Tracing is env-gated (`LRA_TRACE=path.json`): when off, the
+//!   entire fast path is a single relaxed atomic load and no
+//!   allocation, so instrumented kernels cost nothing in production.
+//!   The collected events export as Chrome trace-event JSON
+//!   (loadable in `chrome://tracing` / Perfetto, one lane per rank).
+//! - [`metrics`] — a registry of named counters, gauges and
+//!   histograms. The owning crates feed it: `KernelTimers`,
+//!   `CommStats` and `Profile` all provide `export_metrics` adapters.
+//! - [`report`] — the machine-readable [`report::BenchReport`] schema
+//!   (per-algorithm wall time, per-kernel breakdown, achieved rank,
+//!   true vs. estimated relative error) that `bench_suite` writes as
+//!   `BENCH_*.json`, establishing a diffable perf baseline across PRs.
+//! - [`json`] — the minimal JSON value/parser/writer the exporters are
+//!   built on (the build environment vendors no serde).
+//!
+//! This crate is a *leaf*: it depends only on `std`, so every other
+//! workspace crate can hook into it without dependency cycles.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry};
+pub use report::{BenchEntry, BenchReport, KernelTime, BENCH_SCHEMA_VERSION};
+pub use trace::{SpanGuard, TraceEvent};

@@ -1,0 +1,218 @@
+//! Metrics registry: named counters, gauges and histograms.
+//!
+//! One [`MetricsRegistry`] per measurement scope (a bench run, one
+//! SPMD execution). The measurement systems that predate this crate
+//! feed into it through `export_metrics` adapters implemented next to
+//! the data they own:
+//!
+//! - `lra_core::KernelTimers::export_metrics` — per-kernel seconds as
+//!   histogram observations,
+//! - `lra_comm::CommStats::export_metrics` — per-rank message/byte/
+//!   collective counters,
+//! - `lra_par::Profile::export_metrics` — recorded wall/serial time
+//!   and per-label parallel work as gauges.
+//!
+//! Names are dotted paths (`comm.rank0.msgs_sent`); the registry keeps
+//! them sorted so snapshots and JSON exports are deterministic.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Running aggregate of observed values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    fn new() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-write-wins instantaneous value.
+    Gauge(f64),
+    /// Aggregate of repeated observations.
+    Histogram(HistogramSnapshot),
+}
+
+/// Thread-safe registry of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter `name` (created at zero).
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(c) => *c += delta,
+            other => panic!("metric {name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set the gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut map = self.lock();
+        map.insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Record one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert(MetricValue::Histogram(HistogramSnapshot::new()))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Current value of a metric, if registered.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.lock().get(name).cloned()
+    }
+
+    /// All metrics in name order.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Export as a JSON object: counters and gauges as numbers,
+    /// histograms as `{count, sum, min, max, mean}`.
+    pub fn to_json(&self) -> Json {
+        let pairs = self
+            .snapshot()
+            .into_iter()
+            .map(|(name, value)| {
+                let v = match value {
+                    MetricValue::Counter(c) => Json::Num(c as f64),
+                    MetricValue::Gauge(g) => Json::Num(g),
+                    MetricValue::Histogram(h) => Json::Obj(vec![
+                        ("count".to_string(), Json::Num(h.count as f64)),
+                        ("sum".to_string(), Json::Num(h.sum)),
+                        (
+                            "min".to_string(),
+                            if h.count == 0 { Json::Null } else { Json::Num(h.min) },
+                        ),
+                        (
+                            "max".to_string(),
+                            if h.count == 0 { Json::Null } else { Json::Num(h.max) },
+                        ),
+                        ("mean".to_string(), Json::Num(h.mean())),
+                    ]),
+                };
+                (name, v)
+            })
+            .collect();
+        Json::Obj(pairs)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, MetricValue>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.inc_counter("a.b", 2);
+        reg.inc_counter("a.b", 3);
+        assert_eq!(reg.get("a.b"), Some(MetricValue::Counter(5)));
+        assert_eq!(reg.get("missing"), None);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let reg = MetricsRegistry::new();
+        reg.set_gauge("x", 1.0);
+        reg.set_gauge("x", -2.5);
+        assert_eq!(reg.get("x"), Some(MetricValue::Gauge(-2.5)));
+    }
+
+    #[test]
+    fn histograms_aggregate() {
+        let reg = MetricsRegistry::new();
+        reg.observe("h", 1.0);
+        reg.observe("h", 3.0);
+        match reg.get("h").unwrap() {
+            MetricValue::Histogram(h) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.sum, 4.0);
+                assert_eq!(h.min, 1.0);
+                assert_eq!(h.max, 3.0);
+                assert_eq!(h.mean(), 2.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_sorted_and_json_stable() {
+        let reg = MetricsRegistry::new();
+        reg.set_gauge("z", 1.0);
+        reg.inc_counter("a", 7);
+        let names: Vec<String> = reg.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a".to_string(), "z".to_string()]);
+        assert_eq!(reg.to_json().to_string(), "{\"a\":7,\"z\":1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.set_gauge("m", 1.0);
+        reg.inc_counter("m", 1);
+    }
+}

@@ -38,47 +38,59 @@ pub fn tournament_columns_spmd<S: ColumnSource + ?Sized>(
     let rank = ctx.rank();
     let ranges = split_ranges(cand.len(), size);
     // Local reduction: communication-free.
-    let mut winners: Vec<usize> = if rank < ranges.len() && !ranges[rank].is_empty() {
-        let own = &cand[ranges[rank].clone()];
-        if own.len() <= k {
-            own.to_vec()
-        } else {
-            tournament_columns(src, Some(own), k, TournamentTree::Binary, Parallelism::SEQ)
-                .selected
-        }
-    } else {
-        Vec::new()
-    };
-    // Global binomial reduction: log2(P) rounds of pairwise merges.
-    let mut mask = 1usize;
-    while mask < size {
-        if rank & mask == 0 {
-            let peer = rank | mask;
-            if peer < size {
-                let theirs: Vec<usize> = ctx.recv(peer, TAG_WINNERS);
-                if !theirs.is_empty() {
-                    let mut merged = winners.clone();
-                    merged.extend_from_slice(&theirs);
-                    winners = node_select(src, &merged, k).0;
-                }
+    let mut winners: Vec<usize> = lra_obs::trace::span("qrtp.local_stage", || {
+        if rank < ranges.len() && !ranges[rank].is_empty() {
+            let own = &cand[ranges[rank].clone()];
+            if own.len() <= k {
+                own.to_vec()
+            } else {
+                tournament_columns(src, Some(own), k, TournamentTree::Binary, Parallelism::SEQ)
+                    .selected
             }
         } else {
-            let parent = rank & !mask;
-            ctx.send(parent, TAG_WINNERS, winners.clone());
-            winners.clear();
+            Vec::new()
+        }
+    });
+    // Global binomial reduction: log2(P) rounds of pairwise merges.
+    // (Static span name — rounds are separated by time and parentage in
+    // the trace; a per-round `format!` would allocate with tracing off.)
+    let mut mask = 1usize;
+    while mask < size {
+        let advance = lra_obs::trace::span("qrtp.reduce_round", || {
+            if rank & mask == 0 {
+                let peer = rank | mask;
+                if peer < size {
+                    let theirs: Vec<usize> = ctx.recv(peer, TAG_WINNERS);
+                    if !theirs.is_empty() {
+                        let mut merged = winners.clone();
+                        merged.extend_from_slice(&theirs);
+                        winners = node_select(src, &merged, k).0;
+                    }
+                }
+                true
+            } else {
+                let parent = rank & !mask;
+                ctx.send(parent, TAG_WINNERS, winners.clone());
+                winners.clear();
+                false
+            }
+        });
+        if !advance {
             break;
         }
         mask <<= 1;
     }
     // Root ranks the final winners (also producing r_diag) and
     // broadcasts the result.
-    let result = if rank == 0 {
-        let (selected, r_diag) = node_select(src, &winners, k);
-        (selected, r_diag)
-    } else {
-        (Vec::new(), Vec::new())
-    };
-    let (selected, r_diag) = ctx.broadcast(0, result);
+    let (selected, r_diag) = lra_obs::trace::span("qrtp.final_select", || {
+        let result = if rank == 0 {
+            let (selected, r_diag) = node_select(src, &winners, k);
+            (selected, r_diag)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        ctx.broadcast(0, result)
+    });
     ColumnSelection { selected, r_diag }
 }
 

@@ -469,6 +469,19 @@ impl CscMatrix {
             *v *= alpha;
         }
     }
+
+    /// Convert to COO, emitting one triplet per stored entry in
+    /// column-major order (rows ascending within each column).
+    pub fn to_coo(&self) -> crate::CooMatrix {
+        let mut coo = crate::CooMatrix::new(self.rows, self.cols);
+        for j in 0..self.cols {
+            let (ri, vs) = self.col(j);
+            for (&i, &v) in ri.iter().zip(vs) {
+                coo.push(i, j, v);
+            }
+        }
+        coo
+    }
 }
 
 /// Incremental column-by-column CSC builder (rows must be pushed

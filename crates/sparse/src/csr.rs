@@ -146,6 +146,19 @@ impl CsrMatrix {
     pub fn row_degrees(&self) -> Vec<usize> {
         (0..self.rows).map(|i| self.row_nnz(i)).collect()
     }
+
+    /// Convert to COO, emitting one triplet per stored entry in
+    /// row-major order.
+    pub fn to_coo(&self) -> crate::CooMatrix {
+        let mut coo = crate::CooMatrix::new(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (ci, vs) = self.row(i);
+            for (&j, &v) in ci.iter().zip(vs) {
+                coo.push(i, j, v);
+            }
+        }
+        coo
+    }
 }
 
 #[cfg(test)]

@@ -33,8 +33,86 @@ fn sparse_mat(max_dim: usize) -> impl Strategy<Value = CscMatrix> {
     })
 }
 
+/// Strategy: a COO matrix with *unique* positions and nonzero values —
+/// the precondition for exact format round-trips (the compressed
+/// formats sum duplicate positions and drop exact zeros).
+fn unique_coo(max_dim: usize) -> impl Strategy<Value = CooMatrix> {
+    (2..=max_dim, 2..=max_dim).prop_flat_map(|(r, c)| {
+        let n = (r * c / 2).clamp(1, 150);
+        proptest::collection::vec((0..r * c, 0.1f64..5.0), 1..=n).prop_map(move |raw| {
+            let mut seen = std::collections::BTreeMap::new();
+            for (lin, v) in raw {
+                seen.entry(lin).or_insert(v);
+            }
+            let mut coo = CooMatrix::new(r, c);
+            for (lin, v) in seen {
+                let sign = if lin % 2 == 0 { 1.0 } else { -1.0 };
+                coo.push(lin % r, lin / r, sign * v);
+            }
+            coo
+        })
+    })
+}
+
+/// Canonical (col-major sorted) triplet list of a COO matrix.
+fn canon_triplets(c: &CooMatrix) -> Vec<(usize, usize, f64)> {
+    let mut t = c.triplets().to_vec();
+    t.sort_by_key(|&(r, c, _)| (c, r));
+    t
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coo_csr_csc_coo_preserves_triples(coo in unique_coo(18)) {
+        let back = coo.to_csr().to_csc().to_coo();
+        prop_assert_eq!(back.rows(), coo.rows());
+        prop_assert_eq!(back.cols(), coo.cols());
+        // Exact equality, values included: no rounding anywhere in the
+        // conversion chain.
+        prop_assert_eq!(canon_triplets(&back), canon_triplets(&coo));
+    }
+
+    #[test]
+    fn spmm_within_normwise_bound(pair in unique_coo(15).prop_flat_map(|coo| {
+        let a = coo.to_csc();
+        let (r, c) = (a.cols(), 6usize);
+        proptest::collection::vec(-3.0f64..3.0, r * c)
+            .prop_map(move |data| (a.clone(), DenseMatrix::from_column_major(r, c, data)))
+    })) {
+        let (a, b) = pair;
+        let c = spmm_dense(&a, &b, Parallelism::new(2));
+        let c_ref = matmul(&a.to_dense(), &b, Parallelism::SEQ);
+        let diff = DenseMatrix::from_fn(c.rows(), c.cols(), |i, j| {
+            c.get(i, j) - c_ref.get(i, j)
+        });
+        prop_assert!(
+            diff.fro_norm() <= 1e-12 * a.fro_norm() * b.fro_norm(),
+            "||C - C_ref||_F = {} vs bound {}",
+            diff.fro_norm(),
+            1e-12 * a.fro_norm() * b.fro_norm()
+        );
+    }
+
+    #[test]
+    fn spgemm_within_normwise_bound(pair in (unique_coo(14), unique_coo(14)).prop_map(|(x, y)| {
+        let a = x.to_csc();
+        // Rebuild y's entries into a shape-compatible right factor.
+        let mut coo = CooMatrix::new(a.cols(), y.cols());
+        for &(i, j, v) in y.triplets() {
+            coo.push(i % a.cols(), j, v);
+        }
+        (a, coo.to_csc())
+    })) {
+        let (a, b) = pair;
+        let c = spgemm(&a, &b, Parallelism::new(2));
+        let c_ref = matmul(&a.to_dense(), &b.to_dense(), Parallelism::SEQ);
+        let diff = DenseMatrix::from_fn(c.rows(), c.cols(), |i, j| {
+            c.get(i, j) - c_ref.get(i, j)
+        });
+        prop_assert!(diff.fro_norm() <= 1e-12 * a.fro_norm() * b.fro_norm());
+    }
 
     #[test]
     fn qr_reconstructs(a in dense_mat(20, 12)) {
