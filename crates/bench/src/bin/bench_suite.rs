@@ -19,8 +19,8 @@
 
 use lra_bench::{fmt_s, timed, BenchConfig, USAGE};
 use lra_core::{
-    ilut_crtp, ilut_crtp_spmd, lu_crtp, rand_qb_ei, IlutOpts, LuCrtpOpts, LuCrtpResult, QbOpts,
-    RunConfig,
+    ilut_crtp, ilut_crtp_spmd, ilut_crtp_spmd_checkpointed, lu_crtp, rand_qb_ei, CheckpointStore,
+    IlutOpts, LuCrtpOpts, LuCrtpResult, QbOpts, RecoveryHooks, RunConfig,
 };
 use lra_matgen::TestMatrix;
 use lra_obs::{BenchEntry, BenchReport, KernelTime, MetricsRegistry, BENCH_SCHEMA_VERSION};
@@ -171,6 +171,33 @@ fn run_combination(
         .expect("fault-free SPMD run");
     dist.timers.export_metrics(reg, "ilut_crtp_spmd");
     push_lu_entry(&mut out, "ilut_crtp_spmd", tm, tau, np, wall, &dist, a, par);
+
+    // Same distributed run with per-iteration checkpointing — the
+    // recovery layer's steady-state cost (EXPERIMENTS.md wants this
+    // under 10% of the uninterrupted wall time).
+    let store = CheckpointStore::in_memory();
+    let hooks = RecoveryHooks::new(&store, 1);
+    let (ckpt_report, ckpt_wall) = timed(|| {
+        lra_comm::run_with(np, &RunConfig::default(), |ctx| {
+            ilut_crtp_spmd_checkpointed(ctx, a, &ilut_opts, Some(&hooks))
+        })
+    });
+    let ckpt = ckpt_report
+        .results
+        .into_iter()
+        .next()
+        .expect("np >= 1")
+        .expect("fault-free SPMD run");
+    ckpt.timers.export_metrics(reg, "ilut_crtp_spmd_ckpt");
+    reg.set_gauge("recover.checkpoint_overhead_pct", (ckpt_wall / wall - 1.0) * 100.0);
+    println!(
+        "    checkpointing: {} snapshots, overhead {:+.1}% ({:.4}s vs {:.4}s)",
+        store.saves(),
+        (ckpt_wall / wall - 1.0) * 100.0,
+        ckpt_wall,
+        wall
+    );
+    push_lu_entry(&mut out, "ilut_crtp_spmd_ckpt", tm, tau, np, ckpt_wall, &ckpt, a, par);
     out
 }
 

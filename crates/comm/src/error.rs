@@ -159,4 +159,15 @@ impl CommError {
     pub fn is_timeout(&self) -> bool {
         matches!(self, CommError::Timeout(_))
     }
+
+    /// Recovery classification: transient failures (watchdog timeouts —
+    /// a delayed or dropped delivery, a slow rank) are worth retrying
+    /// on the same grid; permanent failures (a rank panicked or was
+    /// killed) require resuming without the dead rank. `PeerFailed` is
+    /// classified as permanent: it is the blast radius of an origin
+    /// failure, and the origin's own `Failed`/`Timeout` entry is the
+    /// authoritative record a supervisor should classify instead.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CommError::Timeout(_))
+    }
 }

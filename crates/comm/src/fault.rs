@@ -32,6 +32,7 @@ use std::time::Duration;
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     kills: Vec<(usize, u64)>,
+    kills_iter: Vec<(usize, u64)>,
     drops: Vec<(usize, u64)>,
     delay: Option<DelaySpec>,
 }
@@ -58,6 +59,27 @@ impl FaultPlan {
         self
     }
 
+    /// Kill `rank` when the algorithm announces iteration `iteration`
+    /// via [`crate::Ctx::begin_iteration`] (1-based). Unlike
+    /// [`FaultPlan::kill_rank_at_op`], this is indexed by *algorithm*
+    /// iterations, not communication operations, so recovery tests can
+    /// deterministically kill a rank between two checkpoints regardless
+    /// of kernel-level op-count drift.
+    pub fn kill_rank_at_iteration(mut self, rank: usize, iteration: u64) -> Self {
+        self.kills_iter.push((rank, iteration.max(1)));
+        self
+    }
+
+    /// A copy of this plan with every kill (op- and iteration-indexed)
+    /// for `rank` removed. Supervisors use this between attempts: an
+    /// injected kill models a one-shot crash, so a resumed execution
+    /// must not re-kill the same rank at the same point forever.
+    pub fn without_kills_for(mut self, rank: usize) -> Self {
+        self.kills.retain(|(r, _)| *r != rank);
+        self.kills_iter.retain(|(r, _)| *r != rank);
+        self
+    }
+
     /// Silently drop the `nth` message (0-based) sent by `rank`. The
     /// receiver is *not* notified — detection is the watchdog's job.
     pub fn drop_nth_send(mut self, rank: usize, nth: u64) -> Self {
@@ -75,7 +97,10 @@ impl FaultPlan {
 
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
-        self.kills.is_empty() && self.drops.is_empty() && self.delay.is_none()
+        self.kills.is_empty()
+            && self.kills_iter.is_empty()
+            && self.drops.is_empty()
+            && self.delay.is_none()
     }
 
     /// The op index at which `rank` must die, if any (earliest wins).
@@ -84,6 +109,15 @@ impl FaultPlan {
             .iter()
             .filter(|(r, _)| *r == rank)
             .map(|(_, op)| *op)
+            .min()
+    }
+
+    /// The iteration at which `rank` must die, if any (earliest wins).
+    pub(crate) fn kill_iteration_for(&self, rank: usize) -> Option<u64> {
+        self.kills_iter
+            .iter()
+            .filter(|(r, _)| *r == rank)
+            .map(|(_, it)| *it)
             .min()
     }
 
@@ -145,6 +179,33 @@ mod tests {
         let p = FaultPlan::new().kill_rank_at_op(1, 9).kill_rank_at_op(1, 4);
         assert_eq!(p.kill_op_for(1), Some(4));
         assert_eq!(p.kill_op_for(0), None);
+    }
+
+    #[test]
+    fn kill_iteration_independent_of_kill_op() {
+        let p = FaultPlan::new()
+            .kill_rank_at_iteration(2, 3)
+            .kill_rank_at_iteration(2, 7)
+            .kill_rank_at_op(1, 5);
+        assert_eq!(p.kill_iteration_for(2), Some(3));
+        assert_eq!(p.kill_iteration_for(1), None);
+        assert_eq!(p.kill_op_for(2), None);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn without_kills_strips_both_kill_kinds() {
+        let p = FaultPlan::new()
+            .kill_rank_at_op(0, 4)
+            .kill_rank_at_iteration(0, 2)
+            .kill_rank_at_iteration(1, 2)
+            .drop_nth_send(0, 1);
+        let q = p.without_kills_for(0);
+        assert_eq!(q.kill_op_for(0), None);
+        assert_eq!(q.kill_iteration_for(0), None);
+        assert_eq!(q.kill_iteration_for(1), Some(2));
+        // Non-kill faults are untouched.
+        assert_eq!(q.drops_for(0), vec![1]);
     }
 
     #[test]

@@ -164,13 +164,54 @@ impl<T> RunReport<T> {
         self.results.iter().all(|r| r.is_ok())
     }
 
-    /// Unwrap all results, panicking with the first failure.
+    /// Unwrap all results, panicking with [`RunReport::failure_summary`]
+    /// if any rank failed — the panic message names the origin rank and,
+    /// for watchdog timeouts, renders the full [`TimeoutDiagnostics`]
+    /// (stuck rank, op index, collective program counter, pending
+    /// messages) instead of losing them to a bare `Debug` dump.
     pub fn unwrap_all(self) -> Vec<T> {
+        if let Some(summary) = self.failure_summary() {
+            panic!("{summary}");
+        }
         self.results
             .into_iter()
-            .enumerate()
-            .map(|(rank, r)| r.unwrap_or_else(|e| panic!("SPMD rank {rank} failed: {e}")))
+            .map(|r| r.unwrap_or_else(|_| unreachable!("failure_summary was None")))
             .collect()
+    }
+
+    /// Render every failure of this run in one diagnostic string, or
+    /// `None` when all ranks succeeded. The first non-collateral error
+    /// (a `Failed` or `Timeout`, i.e. a failure *origin*) leads the
+    /// message; collateral `PeerFailed` aborts are summarized per rank
+    /// after it. Timeout entries carry the full diagnostics dump.
+    pub fn failure_summary(&self) -> Option<String> {
+        use std::fmt::Write as _;
+        let failed: Vec<(usize, &CommError)> = self
+            .results
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, r)| r.as_ref().err().map(|e| (rank, e)))
+            .collect();
+        if failed.is_empty() {
+            return None;
+        }
+        // Lead with a failure origin, not its blast radius.
+        let &(first_rank, first_err) = failed
+            .iter()
+            .find(|(_, e)| !e.is_peer_failure())
+            .unwrap_or(&failed[0]);
+        let mut out = format!(
+            "SPMD run failed on {}/{} ranks; first failure on rank {first_rank}: {first_err}",
+            failed.len(),
+            self.results.len(),
+        );
+        for (rank, err) in &failed {
+            if *rank == first_rank {
+                continue;
+            }
+            let _ = write!(out, "\n  rank {rank}: {err}");
+        }
+        Some(out)
     }
 }
 
@@ -185,6 +226,7 @@ pub struct Ctx {
     watchdog: Duration,
     // Chaos-injection state for this rank.
     kill_at: Option<u64>,
+    kill_at_iter: Option<u64>,
     drops: Vec<u64>,
     delay: Option<RankDelay>,
     // Counters.
@@ -276,6 +318,28 @@ impl Ctx {
             });
         }
         Ok(())
+    }
+
+    /// Announce that this rank is entering algorithm iteration
+    /// `iteration` (1-based). Iteration-structured algorithms call this
+    /// at the top of their main loop; it is the hook
+    /// [`FaultPlan::kill_rank_at_iteration`] fires on, letting chaos
+    /// tests kill a rank between two checkpoints deterministically
+    /// (independent of how many communication ops each iteration
+    /// performs). The kill is raised as [`CommError::Failed`] and
+    /// poisons peers exactly like an op-indexed kill; without a
+    /// matching plan entry this is a counter update and one branch.
+    pub fn begin_iteration(&self, iteration: u64) {
+        self.stats.borrow_mut().iterations = iteration;
+        if self.kill_at_iter == Some(iteration) {
+            raise::<()>(CommError::Failed {
+                rank: self.rank,
+                payload: format!(
+                    "fault injection: rank {} killed at iteration {iteration}",
+                    self.rank
+                ),
+            });
+        }
     }
 
     /// Map a send-to-dead-inbox failure onto the recorded poison, or
@@ -719,6 +783,7 @@ where
                         control: Arc::clone(control_ref),
                         watchdog: config.watchdog.max(Duration::from_millis(1)),
                         kill_at: config.faults.kill_op_for(rank),
+                        kill_at_iter: config.faults.kill_iteration_for(rank),
                         drops: config.faults.drops_for(rank),
                         delay: config.faults.delay_for(rank),
                         stats: RefCell::new(CommStats::default()),
@@ -780,8 +845,11 @@ where
 }
 
 /// [`run`] for callers that treat any rank failure as fatal: unwraps
-/// every per-rank result, panicking with the first [`CommError`].
-/// This is the drop-in replacement for the pre-fault-model `run`.
+/// every per-rank result, panicking with
+/// [`RunReport::failure_summary`] — the failure origin's full
+/// rendering (including [`TimeoutDiagnostics`] for watchdog timeouts)
+/// plus the per-rank collateral. This is the drop-in replacement for
+/// the pre-fault-model `run`.
 pub fn run_infallible<T, F>(np: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -1065,6 +1133,78 @@ mod tests {
         assert!(report.results[1].as_ref().unwrap_err().is_timeout());
         assert_eq!(report.stats[0].fault_dropped, 1);
         assert_eq!(report.stats[0].msgs_sent, 0);
+    }
+
+    #[test]
+    fn iteration_indexed_kill_fires_and_poisons_peers() {
+        let cfg = RunConfig::default()
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(FaultPlan::new().kill_rank_at_iteration(1, 3));
+        let report = run_with(3, &cfg, |ctx| {
+            let mut acc = 0usize;
+            for it in 1..=5u64 {
+                ctx.begin_iteration(it);
+                acc = ctx.allreduce(1usize, |a, b| a + b);
+            }
+            acc
+        });
+        match report.results[1].as_ref().unwrap_err() {
+            CommError::Failed { rank: 1, payload } => {
+                assert!(payload.contains("killed at iteration 3"), "{payload}");
+            }
+            other => panic!("victim: {other:?}"),
+        }
+        for r in [0usize, 2] {
+            assert!(report.results[r].as_ref().unwrap_err().is_peer_failure());
+        }
+        assert_eq!(report.stats[1].iterations, 3);
+        // Stripping the victim's kills makes the same plan survivable.
+        let cfg2 = cfg.clone().with_faults(cfg.faults.clone().without_kills_for(1));
+        let report2 = run_with(3, &cfg2, |ctx| {
+            for it in 1..=5u64 {
+                ctx.begin_iteration(it);
+                ctx.barrier();
+            }
+        });
+        assert!(report2.all_ok());
+    }
+
+    #[test]
+    fn failure_summary_leads_with_the_origin_rank() {
+        let cfg = RunConfig::default()
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(FaultPlan::new().kill_rank_at_op(2, 1));
+        let report = run_with(3, &cfg, |ctx| {
+            ctx.barrier();
+            ctx.rank()
+        });
+        let summary = report.failure_summary().expect("run must fail");
+        assert!(
+            summary.starts_with("SPMD run failed on 3/3 ranks; first failure on rank 2:"),
+            "{summary}"
+        );
+        assert!(summary.contains("killed at op 1"), "{summary}");
+        // Success path: no summary.
+        let ok = run_with(2, &RunConfig::default(), |ctx| ctx.rank());
+        assert!(ok.failure_summary().is_none());
+    }
+
+    #[test]
+    fn unwrap_all_message_carries_timeout_diagnostics() {
+        let cfg = RunConfig::default()
+            .with_watchdog(Duration::from_millis(150))
+            .with_faults(FaultPlan::new().drop_nth_send(0, 0));
+        let report = run_with(2, &cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, 1u8);
+            } else {
+                let _ = ctx.recv::<u8>(0, 5);
+            }
+        });
+        let summary = report.failure_summary().expect("drop must trip the watchdog");
+        // The watchdog's diagnostic fields survive into the message.
+        assert!(summary.contains("receive watchdog"), "{summary}");
+        assert!(summary.contains("waiting for (src=0, tag=5)"), "{summary}");
     }
 
     #[test]

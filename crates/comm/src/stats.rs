@@ -50,6 +50,11 @@ pub struct CommStats {
     pub ops: u64,
     /// High-water mark of the out-of-order pending buffer.
     pub max_pending: usize,
+    /// Last algorithm iteration announced via
+    /// [`crate::Ctx::begin_iteration`] (0 when the program never calls
+    /// it) — the counter [`crate::FaultPlan::kill_rank_at_iteration`]
+    /// indexes into.
+    pub iterations: u64,
     /// Messages silently dropped by the fault plan.
     pub fault_dropped: u64,
     /// Deliveries delayed by the fault plan.
@@ -63,7 +68,8 @@ impl CommStats {
     /// this once per rank of a [`crate::RunReport`] yields both the
     /// per-rank shape and the aggregate traffic volume).
     pub fn export_metrics(&self, reg: &lra_obs::MetricsRegistry, rank: usize) {
-        let counters: [(&str, u64); 8] = [
+        let counters: [(&str, u64); 9] = [
+            ("iterations", self.iterations),
             ("msgs_sent", self.msgs_sent),
             ("msgs_received", self.msgs_received),
             ("bytes_sent", self.bytes_sent),

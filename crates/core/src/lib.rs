@@ -22,21 +22,26 @@
 //! benchmark harness can regenerate the paper's Figs. 5-6 kernel
 //! breakdowns, and per-iteration traces for the fill-in plots (Fig. 1).
 
+mod checkpoint;
 mod lucrtp;
 mod qb;
 mod spmd;
+mod supervised;
 mod timers;
 mod ubv;
 
+pub use checkpoint::{IlutCheckpoint, LuCrtpCheckpoint, QbCheckpoint, RecoveryHooks};
 pub use lucrtp::{
-    ilut_crtp, lu_crtp, Breakdown, DropStrategy, IlutOpts, IterTrace, LFormation, LuCrtpOpts,
-    LuCrtpResult, OrderingMode, ThresholdReport,
+    ilut_crtp, ilut_crtp_checkpointed, lu_crtp, lu_crtp_checkpointed, Breakdown, DropStrategy,
+    IlutOpts, InvalidInput, IterTrace, LFormation, LuCrtpOpts, LuCrtpResult, OrderingMode,
+    ThresholdReport,
 };
-pub use qb::{rand_qb_ei, QbError, QbOpts, QbResult, QB_INDICATOR_FLOOR};
+pub use qb::{rand_qb_ei, rand_qb_ei_checkpointed, QbError, QbOpts, QbResult, QB_INDICATOR_FLOOR};
 pub use spmd::{
-    ilut_crtp_dist, ilut_crtp_dist_checked, ilut_crtp_spmd, lu_crtp_dist, lu_crtp_dist_checked,
-    lu_crtp_spmd,
+    ilut_crtp_dist, ilut_crtp_dist_checked, ilut_crtp_spmd, ilut_crtp_spmd_checkpointed,
+    lu_crtp_dist, lu_crtp_dist_checked, lu_crtp_spmd, lu_crtp_spmd_checkpointed,
 };
+pub use supervised::{ilut_crtp_supervised, lu_crtp_supervised, SupervisedError};
 pub use timers::{KernelId, KernelTimers, ALL_KERNELS, N_KERNELS};
 pub use ubv::{rand_ubv, UbvOpts, UbvResult};
 
@@ -44,3 +49,6 @@ pub use ubv::{rand_ubv, UbvOpts, UbvResult};
 pub use lra_comm::{CommError, CommStats, FaultPlan, RunConfig};
 pub use lra_par::Parallelism;
 pub use lra_qrtp::TournamentTree;
+pub use lra_recover::{
+    Checkpoint, CheckpointStore, RecoveryError, RecoveryEvent, RecoveryPolicy, Supervised,
+};

@@ -48,6 +48,71 @@ pub enum Breakdown {
     SingularPivotBlock,
     /// The (thresholded) Schur complement ran out of numerical rank.
     RankExhausted,
+    /// A numerical guard tripped: a panel `R` diagonal or the error
+    /// indicator came back NaN/Inf, so continuing would only propagate
+    /// garbage. Recorded as a `recover.guard_trip` event.
+    NonFinite,
+}
+
+/// A caller error caught at the API boundary — the typed alternative to
+/// panicking deep inside a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidInput {
+    /// Block size `k` must be at least 1.
+    ZeroBlockSize,
+    /// `tau` must be finite and strictly positive.
+    BadTau {
+        /// The offending tolerance.
+        tau: f64,
+    },
+    /// ILUT's iteration estimate `u` must be at least 1 (it divides the
+    /// drop threshold `mu`, eq. 24).
+    ZeroIterationEstimate,
+    /// ILUT's `phi_factor` must be finite and strictly positive.
+    BadPhiFactor {
+        /// The offending factor.
+        phi_factor: f64,
+    },
+    /// The input matrix has no rows or no columns.
+    EmptyMatrix {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for InvalidInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvalidInput::ZeroBlockSize => write!(f, "block size k must be at least 1"),
+            InvalidInput::BadTau { tau } => {
+                write!(f, "tau must be finite and > 0, got {tau}")
+            }
+            InvalidInput::ZeroIterationEstimate => {
+                write!(f, "ILUT iteration estimate u must be at least 1")
+            }
+            InvalidInput::BadPhiFactor { phi_factor } => {
+                write!(f, "phi_factor must be finite and > 0, got {phi_factor}")
+            }
+            InvalidInput::EmptyMatrix { rows, cols } => {
+                write!(f, "input matrix is empty ({rows}x{cols})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidInput {}
+
+/// Reject empty inputs at checked entry points.
+pub(crate) fn validate_matrix(a: &CscMatrix) -> Result<(), InvalidInput> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(InvalidInput::EmptyMatrix {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    Ok(())
 }
 
 /// Options for [`lu_crtp`].
@@ -72,8 +137,23 @@ pub struct LuCrtpOpts {
 impl LuCrtpOpts {
     /// Defaults matching the paper's setup: first-iteration COLAMD,
     /// binary tournament tree, direct `L21`, sequential.
+    ///
+    /// Panics on invalid `k`/`tau` with the [`InvalidInput`] message —
+    /// use [`LuCrtpOpts::try_new`] for the non-panicking variant.
     pub fn new(k: usize, tau: f64) -> Self {
-        LuCrtpOpts {
+        Self::try_new(k, tau).unwrap_or_else(|e| panic!("LuCrtpOpts::new: {e}"))
+    }
+
+    /// Validated constructor: rejects `k == 0` and non-finite or
+    /// non-positive `tau` instead of panicking deep inside a kernel.
+    pub fn try_new(k: usize, tau: f64) -> Result<Self, InvalidInput> {
+        if k == 0 {
+            return Err(InvalidInput::ZeroBlockSize);
+        }
+        if !tau.is_finite() || tau <= 0.0 {
+            return Err(InvalidInput::BadTau { tau });
+        }
+        Ok(LuCrtpOpts {
             k,
             tau,
             ordering: OrderingMode::FirstIteration,
@@ -81,7 +161,12 @@ impl LuCrtpOpts {
             par: Parallelism::SEQ,
             max_rank: None,
             l_formation: LFormation::Direct,
-        }
+        })
+    }
+
+    /// Re-check the invariants (for options assembled field-by-field).
+    pub fn validate(&self) -> Result<(), InvalidInput> {
+        Self::try_new(self.k, self.tau).map(|_| ())
     }
 
     /// Builder-style parallelism setter.
@@ -130,13 +215,42 @@ pub struct IlutOpts {
 
 impl IlutOpts {
     /// Paper defaults: `phi = tau * |R^(1)(1,1)|`, fixed threshold.
+    ///
+    /// `u_estimate` is clamped to at least 1 (matching the historical
+    /// behavior); invalid `k`/`tau` panic with the [`InvalidInput`]
+    /// message — use [`IlutOpts::try_new`] for the non-panicking
+    /// variant.
     pub fn new(k: usize, tau: f64, u_estimate: usize) -> Self {
-        IlutOpts {
-            base: LuCrtpOpts::new(k, tau),
-            u_estimate: u_estimate.max(1),
+        Self::try_new(k, tau, u_estimate.max(1))
+            .unwrap_or_else(|e| panic!("IlutOpts::new: {e}"))
+    }
+
+    /// Validated constructor: rejects `k == 0`, bad `tau`, and
+    /// `u_estimate == 0`.
+    pub fn try_new(k: usize, tau: f64, u_estimate: usize) -> Result<Self, InvalidInput> {
+        if u_estimate == 0 {
+            return Err(InvalidInput::ZeroIterationEstimate);
+        }
+        Ok(IlutOpts {
+            base: LuCrtpOpts::try_new(k, tau)?,
+            u_estimate,
             phi_factor: 1.0,
             strategy: DropStrategy::Fixed,
+        })
+    }
+
+    /// Re-check the invariants (for options assembled field-by-field).
+    pub fn validate(&self) -> Result<(), InvalidInput> {
+        self.base.validate()?;
+        if self.u_estimate == 0 {
+            return Err(InvalidInput::ZeroIterationEstimate);
         }
+        if !self.phi_factor.is_finite() || self.phi_factor <= 0.0 {
+            return Err(InvalidInput::BadPhiFactor {
+                phi_factor: self.phi_factor,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -280,11 +394,34 @@ struct IlutState {
 /// LU_CRTP (Algorithm 2): deterministic fixed-precision truncated LU
 /// with column and row tournament pivoting.
 pub fn lu_crtp(a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
-    drive(a, opts, None)
+    drive(a, opts, None, None)
 }
 
 /// ILUT_CRTP (Algorithm 3): incomplete LU_CRTP with thresholding.
 pub fn ilut_crtp(a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
+    ilut_crtp_checkpointed(a, opts, None)
+}
+
+/// [`lu_crtp`] with iteration checkpointing: snapshots the loop state
+/// through `hooks` at the end of each covered iteration, and resumes
+/// from the store's latest snapshot if one is present.
+pub fn lu_crtp_checkpointed(
+    a: &CscMatrix,
+    opts: &LuCrtpOpts,
+    hooks: Option<&crate::RecoveryHooks<'_>>,
+) -> LuCrtpResult {
+    drive(a, opts, None, hooks)
+}
+
+/// [`ilut_crtp`] with iteration checkpointing (see
+/// [`lu_crtp_checkpointed`]). The snapshot carries the threshold state
+/// (`mu`, `phi`, dropped mass), so the resumed run's error estimator
+/// (eq. 26) accounts for entries dropped before the interruption.
+pub fn ilut_crtp_checkpointed(
+    a: &CscMatrix,
+    opts: &IlutOpts,
+    hooks: Option<&crate::RecoveryHooks<'_>>,
+) -> LuCrtpResult {
     let state = IlutState {
         cfg: opts.clone(),
         mu: 0.0,
@@ -293,11 +430,16 @@ pub fn ilut_crtp(a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
         dropped: 0,
         control_triggered: false,
     };
-    drive(a, &opts.base.clone(), Some(state))
+    drive(a, &opts.base.clone(), Some(state), hooks)
 }
 
 #[allow(clippy::too_many_lines)]
-fn drive(a: &CscMatrix, opts: &LuCrtpOpts, mut ilut: Option<IlutState>) -> LuCrtpResult {
+fn drive(
+    a: &CscMatrix,
+    opts: &LuCrtpOpts,
+    mut ilut: Option<IlutState>,
+    hooks: Option<&crate::RecoveryHooks<'_>>,
+) -> LuCrtpResult {
     let m = a.rows();
     let n = a.cols();
     let par = opts.par;
@@ -331,17 +473,9 @@ fn drive(a: &CscMatrix, opts: &LuCrtpOpts, mut ilut: Option<IlutState>) -> LuCrt
         };
     }
 
-    // --- Fill-reducing preprocessing (Section V). ---
-    let initial_cols: Vec<usize> = match opts.ordering {
-        OrderingMode::Natural => (0..n).collect(),
-        OrderingMode::FirstIteration | OrderingMode::EveryIteration => {
-            timers.time(KernelId::Permute, || fill_reducing_order(a))
-        }
-    };
-    let mut s = a.select_columns(&initial_cols);
-    let mut row_map: Vec<usize> = (0..m).collect();
-    let mut col_map: Vec<usize> = initial_cols;
-
+    let mut s: CscMatrix;
+    let mut row_map: Vec<usize>;
+    let mut col_map: Vec<usize>;
     let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut ut_cols: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut pivot_rows_glob: Vec<usize> = Vec::new();
@@ -353,6 +487,43 @@ fn drive(a: &CscMatrix, opts: &LuCrtpOpts, mut ilut: Option<IlutState>) -> LuCrt
     let mut breakdown = None;
     let mut indicator = a_norm_f;
     let mut r11 = 0.0f64;
+
+    let resume = hooks.and_then(|h| crate::checkpoint::load_resume(h, m, n, ilut.is_some()));
+    if let Some(ck) = resume {
+        // Continue from the snapshot as if never interrupted. The
+        // snapshot's column map already reflects the fill-reducing
+        // preprocessing; timers cover only the resumed portion.
+        s = ck.s;
+        row_map = ck.row_map;
+        col_map = ck.col_map;
+        l_cols = ck.l_cols;
+        ut_cols = ck.ut_cols;
+        pivot_rows_glob = ck.pivot_rows;
+        pivot_cols_glob = ck.pivots.selected;
+        trace = ck.trace;
+        rank = ck.rank;
+        iterations = ck.iterations;
+        indicator = ck.indicator;
+        r11 = ck.r11;
+        if let (Some(st), Some(ick)) = (ilut.as_mut(), ck.ilut) {
+            st.mu = ick.mu;
+            st.phi = ick.phi;
+            st.mass_sq = ick.mass_sq;
+            st.dropped = ick.dropped;
+            st.control_triggered = ick.control_triggered;
+        }
+    } else {
+        // --- Fill-reducing preprocessing (Section V). ---
+        let initial_cols: Vec<usize> = match opts.ordering {
+            OrderingMode::Natural => (0..n).collect(),
+            OrderingMode::FirstIteration | OrderingMode::EveryIteration => {
+                timers.time(KernelId::Permute, || fill_reducing_order(a))
+            }
+        };
+        s = a.select_columns(&initial_cols);
+        row_map = (0..m).collect();
+        col_map = initial_cols;
+    }
 
     loop {
         if s.rows() == 0 || s.cols() == 0 || rank >= rank_cap {
@@ -392,6 +563,14 @@ fn drive(a: &CscMatrix, opts: &LuCrtpOpts, mut ilut: Option<IlutState>) -> LuCrt
                 .collect();
             (f.q, rd)
         });
+        if panel_r_diag.iter().any(|v| !v.is_finite()) {
+            lra_recover::record_guard_trip(format!(
+                "non-finite panel R diagonal at iteration {}",
+                iterations + 1
+            ));
+            breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
 
         // Line 7: row tournament on Q_k^T.
         let rows = timers.time(KernelId::RowTournament, || {
@@ -464,6 +643,13 @@ fn drive(a: &CscMatrix, opts: &LuCrtpOpts, mut ilut: Option<IlutState>) -> LuCrt
         // Line 13: error indicator (eq. 9 / 26) — evaluated before any
         // thresholding, exactly as Algorithm 3 orders lines 7 and 8.
         indicator = timers.time(KernelId::Indicator, || s_next.fro_norm());
+        if !indicator.is_finite() {
+            lra_recover::record_guard_trip(format!(
+                "non-finite error indicator at iteration {iterations}"
+            ));
+            breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
         let push_trace = |trace: &mut Vec<IterTrace>, s: &CscMatrix| {
             trace.push(IterTrace {
                 iteration: iterations,
@@ -545,6 +731,37 @@ fn drive(a: &CscMatrix, opts: &LuCrtpOpts, mut ilut: Option<IlutState>) -> LuCrt
         row_map = rest_rows.iter().map(|&r| row_map[r]).collect();
         col_map = rest_cols.iter().map(|&c| col_map[c]).collect();
         s = s_next;
+
+        // Iteration boundary: all loop-carried state is consistent
+        // here, so this is the snapshot point.
+        if let Some(h) = hooks {
+            if h.should_save(iterations) {
+                let ck = crate::checkpoint::make_snapshot(
+                    m,
+                    n,
+                    iterations,
+                    rank,
+                    indicator,
+                    r11,
+                    &s,
+                    &row_map,
+                    &col_map,
+                    &l_cols,
+                    &ut_cols,
+                    &pivot_rows_glob,
+                    &pivot_cols_glob,
+                    &trace,
+                    ilut.as_ref().map(|st| crate::checkpoint::IlutCheckpoint {
+                        mu: st.mu,
+                        phi: st.phi,
+                        mass_sq: st.mass_sq,
+                        dropped: st.dropped,
+                        control_triggered: st.control_triggered,
+                    }),
+                );
+                crate::checkpoint::save_snapshot(h, &ck);
+            }
+        }
         if iterations > 4 * (m.min(n) / opts.k.max(1) + 2) {
             breakdown = Some(Breakdown::RankExhausted);
             break; // safety net against non-termination

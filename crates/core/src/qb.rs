@@ -156,7 +156,9 @@ impl QbResult {
 }
 
 /// Standard-normal matrix via Box-Muller (the offline `rand` has no
-/// normal distribution helper).
+/// normal distribution helper). Consumes exactly `2 * rows * cols`
+/// `next_u64` draws — [`QbCheckpoint`](crate::QbCheckpoint) relies on
+/// this count to resume the stream bitwise.
 fn randn(rows: usize, cols: usize, rng: &mut StdRng) -> DenseMatrix {
     DenseMatrix::from_fn(rows, cols, |_, _| {
         let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -168,13 +170,31 @@ fn randn(rows: usize, cols: usize, rng: &mut StdRng) -> DenseMatrix {
 /// RandQB_EI (Algorithm 1). Returns `Err` if `tau` is below the
 /// indicator's double-precision floor.
 pub fn rand_qb_ei(a: &CscMatrix, opts: &QbOpts) -> Result<QbResult, QbError> {
+    rand_qb_ei_checkpointed(a, opts, None)
+}
+
+/// [`rand_qb_ei`] with checkpoint/restart: every
+/// `hooks.every()` block iterations the accumulated `Q`/`B` blocks,
+/// the residual `E`, and the RNG draw count are snapshotted into the
+/// store; a fresh call with the same store resumes after the last
+/// snapshot and produces bitwise-identical factors (the resumed RNG
+/// burns the recorded draw count before continuing the sketch stream).
+pub fn rand_qb_ei_checkpointed(
+    a: &CscMatrix,
+    opts: &QbOpts,
+    hooks: Option<&crate::RecoveryHooks<'_>>,
+) -> Result<QbResult, QbError> {
     if opts.tau < QB_INDICATOR_FLOOR {
         return Err(QbError::TauBelowIndicatorFloor { tau: opts.tau });
     }
-    lra_obs::trace::span("rand_qb_ei", || rand_qb_ei_inner(a, opts))
+    lra_obs::trace::span("rand_qb_ei", || rand_qb_ei_inner(a, opts, hooks))
 }
 
-fn rand_qb_ei_inner(a: &CscMatrix, opts: &QbOpts) -> Result<QbResult, QbError> {
+fn rand_qb_ei_inner(
+    a: &CscMatrix,
+    opts: &QbOpts,
+    hooks: Option<&crate::RecoveryHooks<'_>>,
+) -> Result<QbResult, QbError> {
     let m = a.rows();
     let n = a.cols();
     let k = opts.k.min(m).min(n).max(1);
@@ -208,11 +228,31 @@ fn rand_qb_ei_inner(a: &CscMatrix, opts: &QbOpts) -> Result<QbResult, QbError> {
     let mut converged = false;
     let mut iterations = 0usize;
     let mut rank = 0usize;
+    let mut draws = 0u64;
 
-    while rank < rank_cap {
+    if let Some(h) = hooks {
+        if let Some(ck) = crate::checkpoint::load_qb_resume(h, m, n) {
+            // Replay the RNG to just past the snapshot point so the
+            // continued sketch stream matches an uninterrupted run.
+            for _ in 0..ck.rng_draws {
+                rng.next_u64();
+            }
+            draws = ck.rng_draws;
+            iterations = ck.iterations;
+            rank = ck.rank;
+            e = ck.e;
+            history = ck.history;
+            q_blocks = ck.q_blocks;
+            b_blocks = ck.b_blocks;
+            converged = history.last().is_some_and(|&ind| ind < stop);
+        }
+    }
+
+    while !converged && rank < rank_cap {
         let kk = k.min(rank_cap - rank);
         // Line 4-5: sketch and correct.
         let omega = randn(n, kk, &mut rng);
+        draws += 2 * (n as u64) * (kk as u64);
         let mut y = timers.time(KernelId::Sketch, || {
             let mut y = spmm_dense(a, &omega, par);
             if !q_blocks.is_empty() {
@@ -265,7 +305,17 @@ fn rand_qb_ei_inner(a: &CscMatrix, opts: &QbOpts) -> Result<QbResult, QbError> {
         });
 
         // Lines 12-14: expand, update the indicator, test.
-        e -= bk.fro_norm_sq();
+        let bk_norm_sq = bk.fro_norm_sq();
+        if !bk_norm_sq.is_finite() {
+            // A NaN/Inf sketch would silently corrupt every later
+            // block; stop here with the factors accumulated so far.
+            lra_recover::record_guard_trip(format!(
+                "rand_qb_ei: non-finite B block norm at iteration {}",
+                iterations + 1
+            ));
+            break;
+        }
+        e -= bk_norm_sq;
         // Guard tiny negative round-off.
         let ind = e.max(0.0).sqrt();
         y = DenseMatrix::zeros(0, 0); // release the sketch early
@@ -278,6 +328,22 @@ fn rand_qb_ei_inner(a: &CscMatrix, opts: &QbOpts) -> Result<QbResult, QbError> {
         if ind < stop {
             converged = true;
             break;
+        }
+        // Snapshot at the iteration boundary: every loop variable that
+        // feeds the next iteration is final for this one.
+        if let Some(h) = hooks {
+            if h.should_save(iterations) {
+                let ck = crate::checkpoint::QbCheckpoint {
+                    iterations,
+                    rank,
+                    e,
+                    history: history.clone(),
+                    q_blocks: q_blocks.clone(),
+                    b_blocks: b_blocks.clone(),
+                    rng_draws: draws,
+                };
+                crate::checkpoint::save_qb_snapshot(h, &ck);
+            }
         }
     }
 

@@ -13,8 +13,8 @@
 //! indicator is a partial-norm allreduce.
 
 use crate::lucrtp::{
-    schur_update_cols, Breakdown, DropStrategy, IlutOpts, IterTrace, LuCrtpOpts, LuCrtpResult,
-    ThresholdReport,
+    schur_update_cols, validate_matrix, Breakdown, DropStrategy, IlutOpts, InvalidInput,
+    IterTrace, LuCrtpOpts, LuCrtpResult, ThresholdReport,
 };
 use crate::timers::KernelTimers;
 use lra_comm::{CommError, Ctx, RunConfig};
@@ -28,7 +28,21 @@ use lra_sparse::CscMatrix;
 /// inside an [`lra_comm::run`] region; every rank returns the same
 /// result. `opts.par` is ignored (parallelism comes from the ranks).
 pub fn lu_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
-    lra_obs::trace::span("lu_crtp_spmd", || drive_spmd(ctx, a, opts, None))
+    lu_crtp_spmd_checkpointed(ctx, a, opts, None)
+}
+
+/// [`lu_crtp_spmd`] with iteration checkpointing: rank 0 snapshots the
+/// (replicated) loop state through `hooks` at the end of each covered
+/// iteration — a collective boundary, so the snapshot is globally
+/// consistent — and every rank resumes from the store's latest snapshot
+/// when one is present. All ranks must share the same store.
+pub fn lu_crtp_spmd_checkpointed(
+    ctx: &Ctx,
+    a: &CscMatrix,
+    opts: &LuCrtpOpts,
+    hooks: Option<&crate::RecoveryHooks<'_>>,
+) -> LuCrtpResult {
+    lra_obs::trace::span("lu_crtp_spmd", || drive_spmd(ctx, a, opts, None, hooks))
 }
 
 /// SPMD ILUT_CRTP (Algorithm 3 over ranks): identical distribution to
@@ -36,6 +50,17 @@ pub fn lu_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult
 /// rank holds the same Schur complement and drops the same entries, so
 /// no extra communication is needed for the threshold bookkeeping.
 pub fn ilut_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
+    ilut_crtp_spmd_checkpointed(ctx, a, opts, None)
+}
+
+/// [`ilut_crtp_spmd`] with iteration checkpointing (see
+/// [`lu_crtp_spmd_checkpointed`]).
+pub fn ilut_crtp_spmd_checkpointed(
+    ctx: &Ctx,
+    a: &CscMatrix,
+    opts: &IlutOpts,
+    hooks: Option<&crate::RecoveryHooks<'_>>,
+) -> LuCrtpResult {
     let state = SpmdIlutState {
         cfg: opts.clone(),
         mu: 0.0,
@@ -45,7 +70,7 @@ pub fn ilut_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult
         control_triggered: false,
     };
     lra_obs::trace::span("ilut_crtp_spmd", || {
-        drive_spmd(ctx, a, &opts.base.clone(), Some(state))
+        drive_spmd(ctx, a, &opts.base.clone(), Some(state), hooks)
     })
 }
 
@@ -56,16 +81,20 @@ pub fn ilut_crtp_dist(a: &CscMatrix, opts: &IlutOpts, np: usize) -> LuCrtpResult
     results.swap_remove(0)
 }
 
-/// Fault-aware variant of [`ilut_crtp_dist`]: runs under an explicit
-/// [`RunConfig`] (watchdog window, chaos [`lra_comm::FaultPlan`]) and
-/// returns every rank's outcome instead of panicking on failure.
+/// Fault-aware variant of [`ilut_crtp_dist`]: validates the input at
+/// the API boundary ([`InvalidInput`] instead of a panic deep inside a
+/// kernel), runs under an explicit [`RunConfig`] (watchdog window,
+/// chaos [`lra_comm::FaultPlan`]), and returns every rank's outcome
+/// instead of panicking on failure.
 pub fn ilut_crtp_dist_checked(
     a: &CscMatrix,
     opts: &IlutOpts,
     np: usize,
     config: &RunConfig,
-) -> Vec<Result<LuCrtpResult, CommError>> {
-    lra_comm::run_with(np, config, |ctx| ilut_crtp_spmd(ctx, a, opts)).results
+) -> Result<Vec<Result<LuCrtpResult, CommError>>, InvalidInput> {
+    opts.validate()?;
+    validate_matrix(a)?;
+    Ok(lra_comm::run_with(np, config, |ctx| ilut_crtp_spmd(ctx, a, opts)).results)
 }
 
 struct SpmdIlutState {
@@ -83,6 +112,7 @@ fn drive_spmd(
     a: &CscMatrix,
     opts: &LuCrtpOpts,
     mut ilut: Option<SpmdIlutState>,
+    hooks: Option<&crate::RecoveryHooks<'_>>,
 ) -> LuCrtpResult {
     let m = a.rows();
     let n = a.cols();
@@ -117,23 +147,9 @@ fn drive_spmd(
         };
     }
 
-    // Preprocessing on rank 0, broadcast (COLAMD is intrinsically
-    // sequential — "we apply COLAMD as a preprocessing step").
-    let initial_cols: Vec<usize> = match opts.ordering {
-        crate::OrderingMode::Natural => (0..n).collect(),
-        _ => {
-            let p = if rank == 0 {
-                fill_reducing_order(a)
-            } else {
-                Vec::new()
-            };
-            ctx.broadcast(0, p)
-        }
-    };
-    let mut s = a.select_columns(&initial_cols);
-    let mut row_map: Vec<usize> = (0..m).collect();
-    let mut col_map: Vec<usize> = initial_cols;
-
+    let mut s: CscMatrix;
+    let mut row_map: Vec<usize>;
+    let mut col_map: Vec<usize>;
     let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut ut_cols: Vec<Vec<(usize, f64)>> = Vec::new();
     let mut pivot_rows_glob: Vec<usize> = Vec::new();
@@ -146,7 +162,51 @@ fn drive_spmd(
     let mut indicator = a_norm_f;
     let mut r11 = 0.0f64;
 
+    // Resume: every rank loads the same shared store, so all ranks
+    // restore the identical (replicated) snapshot — consistency needs
+    // no extra collective.
+    let resume = hooks.and_then(|h| crate::checkpoint::load_resume(h, m, n, ilut.is_some()));
+    if let Some(ck) = resume {
+        s = ck.s;
+        row_map = ck.row_map;
+        col_map = ck.col_map;
+        l_cols = ck.l_cols;
+        ut_cols = ck.ut_cols;
+        pivot_rows_glob = ck.pivot_rows;
+        pivot_cols_glob = ck.pivots.selected;
+        trace = ck.trace;
+        k_rank = ck.rank;
+        iterations = ck.iterations;
+        indicator = ck.indicator;
+        r11 = ck.r11;
+        if let (Some(st), Some(ick)) = (ilut.as_mut(), ck.ilut) {
+            st.mu = ick.mu;
+            st.phi = ick.phi;
+            st.mass_sq = ick.mass_sq;
+            st.dropped = ick.dropped;
+            st.control_triggered = ick.control_triggered;
+        }
+    } else {
+        // Preprocessing on rank 0, broadcast (COLAMD is intrinsically
+        // sequential — "we apply COLAMD as a preprocessing step").
+        let initial_cols: Vec<usize> = match opts.ordering {
+            crate::OrderingMode::Natural => (0..n).collect(),
+            _ => {
+                let p = if rank == 0 {
+                    fill_reducing_order(a)
+                } else {
+                    Vec::new()
+                };
+                ctx.broadcast(0, p)
+            }
+        };
+        s = a.select_columns(&initial_cols);
+        row_map = (0..m).collect();
+        col_map = initial_cols;
+    }
+
     loop {
+        ctx.begin_iteration(iterations as u64 + 1);
         if s.rows() == 0 || s.cols() == 0 || k_rank >= rank_cap {
             if indicator >= stop {
                 breakdown = Some(Breakdown::RankExhausted);
@@ -234,6 +294,14 @@ fn drive_spmd(
             }
             qk
         });
+        if panel_r_diag.iter().any(|v| !v.is_finite()) {
+            lra_recover::record_guard_trip(format!(
+                "non-finite panel R diagonal at iteration {}",
+                iterations + 1
+            ));
+            breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
 
         // Row tournament on Q_k^T (replicated input, distributed tree).
         let rows = timers.time(crate::KernelId::RowTournament, || {
@@ -361,6 +429,13 @@ fn drive_spmd(
             }
             ctx.allreduce(local, |a, b| a + b).sqrt()
         });
+        if !indicator.is_finite() {
+            lra_recover::record_guard_trip(format!(
+                "non-finite error indicator at iteration {iterations}"
+            ));
+            breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
         trace.push(IterTrace {
             iteration: iterations,
             rank: k_rank,
@@ -431,6 +506,39 @@ fn drive_spmd(
         row_map = rest_rows.iter().map(|&r| row_map[r]).collect();
         col_map = rest_cols.iter().map(|&c| col_map[c]).collect();
         s = s_next;
+
+        // Collective boundary: the indicator allreduce and (replicated)
+        // drop are done, so every rank reaching this point holds
+        // identical state — rank 0's snapshot is a consistent global
+        // snapshot.
+        if let Some(h) = hooks {
+            if rank == 0 && h.should_save(iterations) {
+                let ck = crate::checkpoint::make_snapshot(
+                    m,
+                    n,
+                    iterations,
+                    k_rank,
+                    indicator,
+                    r11,
+                    &s,
+                    &row_map,
+                    &col_map,
+                    &l_cols,
+                    &ut_cols,
+                    &pivot_rows_glob,
+                    &pivot_cols_glob,
+                    &trace,
+                    ilut.as_ref().map(|st| crate::checkpoint::IlutCheckpoint {
+                        mu: st.mu,
+                        phi: st.phi,
+                        mass_sq: st.mass_sq,
+                        dropped: st.dropped,
+                        control_triggered: st.control_triggered,
+                    }),
+                );
+                crate::checkpoint::save_snapshot(h, &ck);
+            }
+        }
         if iterations > 4 * (m.min(n) / opts.k.max(1) + 2) {
             breakdown = Some(Breakdown::RankExhausted);
             break;
@@ -485,17 +593,21 @@ pub fn lu_crtp_dist(a: &CscMatrix, opts: &LuCrtpOpts, np: usize) -> LuCrtpResult
     results.swap_remove(0)
 }
 
-/// Fault-aware variant of [`lu_crtp_dist`]: runs under an explicit
-/// [`RunConfig`] (watchdog window, chaos [`lra_comm::FaultPlan`]) and
-/// returns every rank's outcome. A rank killed mid-factorization
-/// surfaces as [`CommError::Failed`] on the victim and
-/// [`CommError::PeerFailed`] on every surviving rank — no hang.
+/// Fault-aware variant of [`lu_crtp_dist`]: validates the input at the
+/// API boundary ([`InvalidInput`] instead of a panic deep inside a
+/// kernel), runs under an explicit [`RunConfig`] (watchdog window,
+/// chaos [`lra_comm::FaultPlan`]), and returns every rank's outcome.
+/// A rank killed mid-factorization surfaces as [`CommError::Failed`] on
+/// the victim and [`CommError::PeerFailed`] on every surviving rank —
+/// no hang.
 pub fn lu_crtp_dist_checked(
     a: &CscMatrix,
     opts: &LuCrtpOpts,
     np: usize,
     config: &RunConfig,
-) -> Vec<Result<LuCrtpResult, CommError>> {
-    lra_comm::run_with(np, config, |ctx| lu_crtp_spmd(ctx, a, opts)).results
+) -> Result<Vec<Result<LuCrtpResult, CommError>>, InvalidInput> {
+    opts.validate()?;
+    validate_matrix(a)?;
+    Ok(lra_comm::run_with(np, config, |ctx| lu_crtp_spmd(ctx, a, opts)).results)
 }
 

@@ -160,9 +160,30 @@ impl MetricsRegistry {
     }
 }
 
+/// Process-global registry for events that have no natural measurement
+/// scope to thread a [`MetricsRegistry`] through — recovery retries,
+/// guard trips, checkpoint saves. Scoped registries (one per bench run
+/// or SPMD execution) remain the norm for everything else; harnesses
+/// that want the global events in their report can merge
+/// [`global().snapshot()`](MetricsRegistry::snapshot) in.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: std::sync::OnceLock<MetricsRegistry> = std::sync::OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().inc_counter("test.obs.global_shared", 1);
+        global().inc_counter("test.obs.global_shared", 2);
+        assert_eq!(
+            global().get("test.obs.global_shared"),
+            Some(MetricValue::Counter(3))
+        );
+    }
 
     #[test]
     fn counters_accumulate() {

@@ -1,0 +1,269 @@
+//! Checkpoint persistence.
+//!
+//! A [`Checkpoint`] is an algorithm-defined snapshot of iteration state
+//! serialized through the `lra-obs` [`Json`] writer. Because that
+//! writer prints finite `f64`s with Rust's shortest round-trip
+//! formatting, a serialize → parse cycle is *bitwise exact* — resuming
+//! from a checkpoint reproduces the uninterrupted run bit for bit (on
+//! the same rank count; the reduction-tree shape depends on `np`).
+//!
+//! A [`CheckpointStore`] holds the *latest* snapshot — iteration
+//! checkpointing is a sliding window of one, because resuming always
+//! wants the most recent consistent state. The in-memory variant backs
+//! supervisors inside one process; the on-disk variant (atomic
+//! write-then-rename) survives the process for operational restarts.
+
+use crate::events::{record_event, RecoveryEvent};
+use lra_obs::Json;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Envelope schema version for serialized checkpoints.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// A resumable snapshot of an iteration-structured algorithm.
+///
+/// Implementations serialize their full loop state: everything needed
+/// to continue from `iteration() + 1` as if the run had never stopped.
+pub trait Checkpoint: Sized {
+    /// Stable snapshot-kind discriminator (e.g. `"lu_crtp"`); a store
+    /// refuses to load a snapshot of the wrong kind.
+    const KIND: &'static str;
+
+    /// The last completed iteration this snapshot covers (1-based).
+    fn iteration(&self) -> usize;
+
+    /// Serialize the loop state (without the envelope — the store adds
+    /// `kind`/`version`/`iteration` around it).
+    fn state_to_json(&self) -> Json;
+
+    /// Rebuild the loop state from [`Checkpoint::state_to_json`]'s
+    /// output.
+    fn state_from_json(state: &Json) -> Result<Self, String>;
+}
+
+enum Inner {
+    Memory(Mutex<Option<String>>),
+    Disk(PathBuf),
+}
+
+/// Latest-wins persistence for one algorithm run's checkpoints.
+pub struct CheckpointStore {
+    inner: Inner,
+    saves: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// A store living in this process's memory.
+    pub fn in_memory() -> Self {
+        CheckpointStore {
+            inner: Inner::Memory(Mutex::new(None)),
+            saves: AtomicU64::new(0),
+        }
+    }
+
+    /// A store persisting to `path` (atomic replace via a sibling
+    /// temporary file, so a crash mid-save never corrupts the previous
+    /// snapshot).
+    pub fn on_disk(path: impl Into<PathBuf>) -> Self {
+        CheckpointStore {
+            inner: Inner::Disk(path.into()),
+            saves: AtomicU64::new(0),
+        }
+    }
+
+    /// Persist `ckpt`, replacing any previous snapshot, and record a
+    /// [`RecoveryEvent::Checkpoint`].
+    pub fn save<C: Checkpoint>(&self, ckpt: &C) -> Result<(), String> {
+        let doc = Json::Obj(vec![
+            ("kind".to_string(), Json::Str(C::KIND.to_string())),
+            ("version".to_string(), Json::Num(CHECKPOINT_VERSION as f64)),
+            ("iteration".to_string(), Json::Num(ckpt.iteration() as f64)),
+            ("state".to_string(), ckpt.state_to_json()),
+        ]);
+        let text = doc.to_string();
+        match &self.inner {
+            Inner::Memory(slot) => {
+                *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(text);
+            }
+            Inner::Disk(path) => {
+                let tmp = path.with_extension("tmp");
+                std::fs::write(&tmp, &text)
+                    .map_err(|e| format!("checkpoint write {}: {e}", tmp.display()))?;
+                std::fs::rename(&tmp, path)
+                    .map_err(|e| format!("checkpoint rename to {}: {e}", path.display()))?;
+            }
+        }
+        self.saves.fetch_add(1, Ordering::Relaxed);
+        record_event(&RecoveryEvent::Checkpoint {
+            kind: C::KIND,
+            iteration: ckpt.iteration(),
+        });
+        Ok(())
+    }
+
+    /// Load the latest snapshot, if any. Fails on a malformed document,
+    /// a kind mismatch, or an unknown envelope version.
+    pub fn load<C: Checkpoint>(&self) -> Result<Option<C>, String> {
+        let Some(text) = self.raw() else {
+            return Ok(None);
+        };
+        let doc = Json::parse(&text).map_err(|e| format!("checkpoint parse: {e}"))?;
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("checkpoint missing kind")?;
+        if kind != C::KIND {
+            return Err(format!(
+                "checkpoint kind mismatch: stored {kind:?}, expected {:?}",
+                C::KIND
+            ));
+        }
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or("checkpoint missing version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (supported: {CHECKPOINT_VERSION})"
+            ));
+        }
+        let state = doc.get("state").ok_or("checkpoint missing state")?;
+        C::state_from_json(state).map(Some)
+    }
+
+    /// Drop the stored snapshot (e.g. after a run completes, so a later
+    /// run cannot accidentally resume stale state).
+    pub fn clear(&self) {
+        match &self.inner {
+            Inner::Memory(slot) => {
+                *slot.lock().unwrap_or_else(|p| p.into_inner()) = None;
+            }
+            Inner::Disk(path) => {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+
+    /// Number of snapshots saved through this store.
+    pub fn saves(&self) -> u64 {
+        self.saves.load(Ordering::Relaxed)
+    }
+
+    /// The serialized latest snapshot, if any.
+    pub fn raw(&self) -> Option<String> {
+        match &self.inner {
+            Inner::Memory(slot) => slot.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+            Inner::Disk(path) => std::fs::read_to_string(path).ok(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        it: usize,
+        xs: Vec<f64>,
+    }
+
+    impl Checkpoint for Toy {
+        const KIND: &'static str = "toy";
+
+        fn iteration(&self) -> usize {
+            self.it
+        }
+
+        fn state_to_json(&self) -> Json {
+            Json::Obj(vec![(
+                "xs".to_string(),
+                Json::Arr(self.xs.iter().map(|&x| Json::Num(x)).collect()),
+            )])
+        }
+
+        fn state_from_json(state: &Json) -> Result<Self, String> {
+            let xs = state
+                .get("xs")
+                .and_then(Json::as_arr)
+                .ok_or("missing xs")?
+                .iter()
+                .map(|v| v.as_f64().ok_or("non-number"))
+                .collect::<Result<Vec<f64>, _>>()?;
+            Ok(Toy { it: 0, xs })
+        }
+    }
+
+    #[derive(Debug)]
+    struct OtherKind;
+
+    impl Checkpoint for OtherKind {
+        const KIND: &'static str = "other";
+
+        fn iteration(&self) -> usize {
+            0
+        }
+
+        fn state_to_json(&self) -> Json {
+            Json::Null
+        }
+
+        fn state_from_json(_: &Json) -> Result<Self, String> {
+            Ok(OtherKind)
+        }
+    }
+
+    #[test]
+    fn memory_roundtrip_is_bitwise() {
+        let store = CheckpointStore::in_memory();
+        assert!(store.load::<Toy>().unwrap().is_none());
+        // Values chosen to stress float printing (subnormal, huge,
+        // non-terminating binary fractions).
+        let xs = vec![0.1, -3.5e300, f64::MIN_POSITIVE, 1.0 / 3.0, -0.0];
+        store.save(&Toy { it: 7, xs: xs.clone() }).unwrap();
+        let back = store.load::<Toy>().unwrap().unwrap();
+        for (a, b) in xs.iter().zip(&back.xs) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+        assert_eq!(store.saves(), 1);
+        store.clear();
+        assert!(store.load::<Toy>().unwrap().is_none());
+    }
+
+    #[test]
+    fn latest_snapshot_wins() {
+        let store = CheckpointStore::in_memory();
+        store.save(&Toy { it: 1, xs: vec![1.0] }).unwrap();
+        store.save(&Toy { it: 2, xs: vec![2.0] }).unwrap();
+        assert_eq!(store.load::<Toy>().unwrap().unwrap().xs, vec![2.0]);
+        assert_eq!(store.saves(), 2);
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let store = CheckpointStore::in_memory();
+        store.save(&Toy { it: 1, xs: vec![] }).unwrap();
+        let err = store.load::<OtherKind>().unwrap_err();
+        assert!(err.contains("kind mismatch"), "{err}");
+    }
+
+    #[test]
+    fn disk_store_roundtrips_and_clears() {
+        let dir = std::env::temp_dir().join(format!(
+            "lra_recover_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let store = CheckpointStore::on_disk(&path);
+        assert!(store.load::<Toy>().unwrap().is_none());
+        store.save(&Toy { it: 3, xs: vec![0.25, 9.0] }).unwrap();
+        let back = store.load::<Toy>().unwrap().unwrap();
+        assert_eq!(back.xs, vec![0.25, 9.0]);
+        store.clear();
+        assert!(store.load::<Toy>().unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,7 +11,10 @@
 //! cargo run --release --example distributed_lu
 //! ```
 
-use lra::core::{lu_crtp, lu_crtp_spmd, LuCrtpOpts, Parallelism};
+use lra::core::{
+    lu_crtp, lu_crtp_dist_checked, lu_crtp_supervised, LuCrtpOpts, Parallelism, RecoveryPolicy,
+    RunConfig,
+};
 
 fn main() {
     let a = lra::matgen::with_decay(&lra::matgen::fem2d(30, 28, 11), 1e-6, 3);
@@ -35,20 +38,47 @@ fn main() {
         t.elapsed().as_secs_f64()
     );
 
+    let cfg = RunConfig::default();
     for np in [1usize, 2, 4] {
         let t = std::time::Instant::now();
-        let per_rank = lra::comm::run_infallible(np, |ctx| {
-            let r = lu_crtp_spmd(ctx, &a, &LuCrtpOpts::new(k, tau));
-            (ctx.rank(), r.rank, r.factor_nnz(), r.indicator)
-        });
+        // The checked entry point rejects bad inputs up front instead
+        // of panicking a rank mid-collective.
+        let per_rank = lu_crtp_dist_checked(&a, &LuCrtpOpts::new(k, tau), np, &cfg)
+            .expect("inputs validated");
         let elapsed = t.elapsed().as_secs_f64();
-        let (_, rank, nnz, ind) = per_rank[0];
+        let results: Vec<_> = per_rank
+            .iter()
+            .map(|r| r.as_ref().expect("fault-free run"))
+            .map(|r| (r.rank, r.factor_nnz(), r.indicator))
+            .collect();
+        let (rank, nnz, ind) = results[0];
         // All ranks must agree bit-for-bit on the factorization.
-        assert!(per_rank.iter().all(|&(_, r, n, i)| (r, n, i) == (rank, nnz, ind)));
+        assert!(results.iter().all(|&t| t == (rank, nnz, ind)));
         println!(
             "SPMD np={np:<2}            : rank {rank}, nnz {nnz}, indicator {ind:.3e}, {elapsed:.3}s (all {np} ranks agree)"
         );
     }
+
+    // Supervised variant: same factorization, but rank failures are
+    // retried/absorbed per the recovery policy instead of panicking.
+    let t = std::time::Instant::now();
+    let supervised = lu_crtp_supervised(
+        &a,
+        &LuCrtpOpts::new(k, tau),
+        4,
+        &cfg,
+        &RecoveryPolicy::default(),
+        1,
+    )
+    .expect("recovery policy not exhausted");
+    println!(
+        "supervised np=4       : rank {}, nnz {}, attempts {}, final np {}, {:.3}s",
+        supervised.value.rank,
+        supervised.value.factor_nnz(),
+        supervised.attempts,
+        supervised.final_np,
+        t.elapsed().as_secs_f64()
+    );
 
     println!(
         "\nerror bound check: indicator {:.3e} < tau*||A||_F = {:.3e}",

@@ -177,7 +177,8 @@ fn lucrtp_dist_rank_killed_mid_tournament_reports_errors() {
     let cfg = RunConfig::default()
         .with_watchdog(Duration::from_secs(10))
         .with_faults(FaultPlan::new().kill_rank_at_op(victim, 5));
-    let results = lu_crtp_dist_checked(&a, &LuCrtpOpts::new(4, 1e-8), np, &cfg);
+    let results =
+        lu_crtp_dist_checked(&a, &LuCrtpOpts::new(4, 1e-8), np, &cfg).expect("valid input");
     assert_eq!(results.len(), np);
     match results[victim].as_ref().unwrap_err() {
         CommError::Failed { rank, payload } => {
@@ -215,7 +216,7 @@ fn lucrtp_dist_survives_chaos_delays_with_wellformed_timers() {
     let cfg = RunConfig::default()
         .with_watchdog(Duration::from_secs(20))
         .with_faults(FaultPlan::new().delay_deliveries(99, Duration::from_micros(200)));
-    let results = lu_crtp_dist_checked(&a, &opts, 4, &cfg);
+    let results = lu_crtp_dist_checked(&a, &opts, 4, &cfg).expect("valid input");
     for (r, res) in results.iter().enumerate() {
         let out = res.as_ref().unwrap_or_else(|e| panic!("rank {r}: {e}"));
         assert_eq!(out.rank, reference.rank, "rank {r}");

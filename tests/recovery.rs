@@ -1,0 +1,296 @@
+//! Recovery-layer integration tests: typed input validation at the API
+//! boundary, checkpoint/restart bitwise fidelity, supervised survival
+//! of rank kills with the fixed-precision guarantee intact, and a chaos
+//! soak over randomized fault plans.
+
+use std::time::Duration;
+
+use lra::core::{
+    ilut_crtp_spmd_checkpointed, ilut_crtp_supervised, lu_crtp_dist_checked, rand_qb_ei,
+    rand_qb_ei_checkpointed, CheckpointStore, FaultPlan, IlutOpts, InvalidInput, LuCrtpOpts,
+    Parallelism, QbOpts, RecoveryError, RecoveryHooks, RecoveryPolicy, RunConfig, SupervisedError,
+};
+use lra::obs::MetricValue;
+use lra::sparse::CscMatrix;
+
+fn counter(name: &str) -> u64 {
+    match lra::obs::metrics::global().get(name) {
+        Some(MetricValue::Counter(c)) => c,
+        _ => 0,
+    }
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+// ---- Satellite: typed input validation --------------------------------
+
+#[test]
+fn zero_block_size_is_rejected() {
+    assert!(matches!(
+        LuCrtpOpts::try_new(0, 1e-3),
+        Err(InvalidInput::ZeroBlockSize)
+    ));
+}
+
+#[test]
+fn nonpositive_or_nonfinite_tau_is_rejected() {
+    for tau in [0.0, -1e-3, f64::NAN, f64::INFINITY] {
+        assert!(
+            matches!(LuCrtpOpts::try_new(8, tau), Err(InvalidInput::BadTau { .. })),
+            "tau = {tau}"
+        );
+    }
+}
+
+#[test]
+fn zero_iteration_estimate_is_rejected() {
+    assert!(matches!(
+        IlutOpts::try_new(8, 1e-3, 0),
+        Err(InvalidInput::ZeroIterationEstimate)
+    ));
+}
+
+#[test]
+fn bad_phi_factor_is_rejected_by_validate() {
+    let mut opts = IlutOpts::new(8, 1e-3, 4);
+    opts.phi_factor = -0.5;
+    assert!(matches!(
+        opts.validate(),
+        Err(InvalidInput::BadPhiFactor { .. })
+    ));
+}
+
+#[test]
+fn empty_matrix_is_a_typed_error_not_a_rank_panic() {
+    let empty = CscMatrix::from_parts(0, 0, vec![0], vec![], vec![]);
+    let err = lu_crtp_dist_checked(&empty, &LuCrtpOpts::new(4, 1e-3), 2, &RunConfig::default())
+        .unwrap_err();
+    assert!(matches!(err, InvalidInput::EmptyMatrix { .. }));
+}
+
+#[test]
+fn supervised_entry_rejects_invalid_opts_before_spawning() {
+    let a = lra::matgen::spectrum(16, 12, &[2.0, 1.0, 0.5], 4, 7);
+    let mut opts = IlutOpts::new(4, 1e-3, 4);
+    opts.base.tau = -1.0;
+    let err = ilut_crtp_supervised(
+        &a,
+        &opts,
+        2,
+        &RunConfig::default(),
+        &RecoveryPolicy::default(),
+        1,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        SupervisedError::Invalid(InvalidInput::BadTau { .. })
+    ));
+}
+
+// ---- Tentpole: checkpoint/restart bitwise fidelity --------------------
+
+/// An interrupted SPMD ILUT run (rank 0 killed at iteration 3) resumed
+/// from its latest checkpoint on the *same* grid must produce factors
+/// bitwise identical to an uninterrupted run: the snapshot is taken at
+/// a collective boundary where the replicated state is exact, and the
+/// `Json` round trip preserves every f64 bit.
+#[test]
+fn resume_from_checkpoint_is_bitwise_identical_to_uninterrupted_run() {
+    let a = lra::matgen::with_decay(&lra::matgen::fem2d(8, 6, 11), 1e-6, 3);
+    let opts = IlutOpts::new(4, 1e-3, 8);
+    let np = 2;
+
+    // Uninterrupted reference.
+    let clean = lra::comm::run_with(np, &RunConfig::default(), |ctx| {
+        ilut_crtp_spmd_checkpointed(ctx, &a, &opts, None)
+    });
+    let reference = clean.results.into_iter().next().unwrap().unwrap();
+    assert!(
+        reference.iterations > 3,
+        "need enough iterations to interrupt at iteration 3 (got {})",
+        reference.iterations
+    );
+
+    // Interrupted run: rank 0 dies at iteration 3, after the snapshots
+    // for iterations 1 and 2 were persisted.
+    let store = CheckpointStore::in_memory();
+    let hooks = RecoveryHooks::new(&store, 1);
+    let cfg = RunConfig::default()
+        .with_watchdog(Duration::from_secs(20))
+        .with_faults(FaultPlan::new().kill_rank_at_iteration(0, 3));
+    let broken = lra::comm::run_with(np, &cfg, |ctx| {
+        ilut_crtp_spmd_checkpointed(ctx, &a, &opts, Some(&hooks))
+    });
+    assert!(!broken.all_ok(), "the kill must actually interrupt the run");
+    assert!(store.saves() >= 2, "snapshots for iterations 1-2 expected");
+
+    // Resume on the same grid from the surviving checkpoint.
+    let resumed = lra::comm::run_with(np, &RunConfig::default(), |ctx| {
+        ilut_crtp_spmd_checkpointed(ctx, &a, &opts, Some(&hooks))
+    });
+    let resumed = resumed.results.into_iter().next().unwrap().unwrap();
+
+    assert_eq!(resumed.rank, reference.rank);
+    assert_eq!(resumed.iterations, reference.iterations);
+    assert_eq!(resumed.pivot_rows, reference.pivot_rows);
+    assert_eq!(resumed.pivot_cols, reference.pivot_cols);
+    assert_eq!(resumed.indicator.to_bits(), reference.indicator.to_bits());
+    for (got, want) in [(&resumed.l, &reference.l), (&resumed.u, &reference.u)] {
+        assert_eq!(got.colptr(), want.colptr());
+        assert_eq!(got.rowidx(), want.rowidx());
+        assert!(bits_eq(got.values(), want.values()));
+    }
+}
+
+/// Same property for RandQB_EI, whose resume additionally has to replay
+/// the RNG draw count to keep the sketch stream aligned.
+#[test]
+fn qb_resume_from_checkpoint_is_bitwise_identical() {
+    let a = lra::matgen::with_decay(&lra::matgen::fem2d(20, 18, 5), 1e-5, 2);
+    let opts = QbOpts::new(4, 1e-3);
+
+    let reference = rand_qb_ei(&a, &opts).unwrap();
+    assert!(
+        reference.iterations >= 2,
+        "need at least one checkpointable iteration (got {})",
+        reference.iterations
+    );
+
+    // A full checkpointed run leaves its last pre-convergence snapshot
+    // in the store; a fresh call resumes there and replays only the
+    // final block iteration.
+    let store = CheckpointStore::in_memory();
+    let hooks = RecoveryHooks::new(&store, 1);
+    let first = rand_qb_ei_checkpointed(&a, &opts, Some(&hooks)).unwrap();
+    assert!(store.saves() >= 1);
+    let resumed = rand_qb_ei_checkpointed(&a, &opts, Some(&hooks)).unwrap();
+
+    for run in [&first, &resumed] {
+        assert_eq!(run.rank, reference.rank);
+        assert_eq!(run.iterations, reference.iterations);
+        assert_eq!(run.indicator.to_bits(), reference.indicator.to_bits());
+        assert!(bits_eq(run.q.as_slice(), reference.q.as_slice()));
+        assert!(bits_eq(run.b.as_slice(), reference.b.as_slice()));
+    }
+}
+
+// ---- Tentpole: supervised survival of a rank kill ---------------------
+
+/// The acceptance scenario: ILUT_CRTP under a fault plan that kills one
+/// rank mid-factorization completes through the supervisor on a shrunk
+/// grid, the fixed-precision guarantee verifies against `exact_error`,
+/// and the recovery actions are visible as metrics and trace instants.
+#[test]
+fn supervised_ilut_survives_rank_kill_with_guarantee_intact() {
+    lra::obs::trace::enable();
+    let ckpt_before = counter("recover.checkpoint");
+    let resume_before = counter("recover.resume");
+
+    let a = lra::matgen::spectrum(48, 40, &[5.0, 2.0, 1.0, 0.4, 0.1, 0.04], 6, 3);
+    let opts = IlutOpts::new(4, 1e-6, 8);
+    let cfg = RunConfig::default()
+        .with_watchdog(Duration::from_secs(20))
+        .with_faults(FaultPlan::new().kill_rank_at_iteration(1, 2));
+    let out = ilut_crtp_supervised(&a, &opts, 3, &cfg, &RecoveryPolicy::default(), 1)
+        .expect("supervisor must absorb a single rank kill");
+
+    assert_eq!(out.final_np, 2, "grid shrinks by one after the kill");
+    assert_eq!(out.attempts, 1, "exactly one recovery action (the resume)");
+    assert!(!out.degraded);
+    let r = &out.value;
+    assert!(r.converged, "resumed run must still converge");
+    let exact = r.exact_error(&a, Parallelism::SEQ);
+    let dropped = r
+        .threshold
+        .as_ref()
+        .map(|t| t.dropped_mass_sq.sqrt())
+        .unwrap_or(0.0);
+    assert!(
+        exact <= (opts.base.tau * r.a_norm_f + dropped) * 1.000001,
+        "fixed-precision guarantee violated after recovery: \
+         exact {exact:e} vs tau*||A||_F {:e} + dropped {dropped:e}",
+        opts.base.tau * r.a_norm_f
+    );
+
+    // Recovery is observable: counters bumped, resume instant traced.
+    assert!(counter("recover.checkpoint") > ckpt_before);
+    assert!(counter("recover.resume") > resume_before);
+    let events = lra::obs::trace::snapshot_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "recover.resume" && e.ph == 'i'),
+        "recover.resume instant missing from the trace"
+    );
+}
+
+// ---- Satellite: chaos soak --------------------------------------------
+
+/// Derive a deterministic chaos plan from a seed: one of rank-kill,
+/// delivery delay, or message drop, at seed-dependent coordinates.
+fn chaos_plan(seed: u64, np: usize) -> (FaultPlan, Duration) {
+    let rank = (seed as usize * 7 + 1) % np;
+    match seed % 3 {
+        0 => (
+            FaultPlan::new().kill_rank_at_iteration(rank, 1 + seed % 4),
+            Duration::from_secs(20),
+        ),
+        1 => (
+            FaultPlan::new().delay_deliveries(seed, Duration::from_micros(200)),
+            Duration::from_secs(20),
+        ),
+        _ => (
+            // A dropped message hangs a collective until the watchdog
+            // fires; keep it short so retries stay cheap.
+            FaultPlan::new().drop_nth_send(rank, 3 + seed % 8),
+            Duration::from_millis(400),
+        ),
+    }
+}
+
+/// Every seed must end in exactly one of two outcomes: a completed
+/// factorization that meets the fixed-precision bound, or a typed
+/// recovery error. A panic escaping the supervisor fails the test by
+/// itself.
+#[test]
+fn chaos_soak_always_completes_or_fails_typed() {
+    let a = lra::matgen::with_decay(&lra::matgen::fem2d(8, 6, 19), 1e-6, 3);
+    let opts = IlutOpts::new(4, 1e-3, 8);
+    let policy = RecoveryPolicy::default()
+        .with_max_retries(3)
+        .with_backoff(Duration::from_millis(5));
+    let np = 3;
+    let mut completed = 0usize;
+    for seed in 0..12u64 {
+        let (faults, watchdog) = chaos_plan(seed, np);
+        let cfg = RunConfig::default()
+            .with_watchdog(watchdog)
+            .with_faults(faults);
+        match ilut_crtp_supervised(&a, &opts, np, &cfg, &policy, 1) {
+            Ok(out) => {
+                let r = &out.value;
+                let dropped = r
+                    .threshold
+                    .as_ref()
+                    .map(|t| t.dropped_mass_sq.sqrt())
+                    .unwrap_or(0.0);
+                let exact = r.exact_error(&a, Parallelism::SEQ);
+                assert!(
+                    exact <= (opts.base.tau * r.a_norm_f + dropped) * 1.000001,
+                    "seed {seed}: bound violated after recovery"
+                );
+                completed += 1;
+            }
+            Err(SupervisedError::Recovery(
+                RecoveryError::RecoveryExhausted { .. } | RecoveryError::DeadlineExceeded { .. },
+            )) => {}
+            Err(other) => panic!("seed {seed}: untyped/unexpected failure {other}"),
+        }
+    }
+    // Kills and delays are always absorbable; at minimum those 8 of the
+    // 12 seeds must have completed.
+    assert!(completed >= 8, "only {completed}/12 chaos runs completed");
+}
