@@ -1,0 +1,162 @@
+//! Per-rank memory scaling of the sharded SPMD driver.
+//!
+//! Runs ILUT_CRTP over SPMD ranks at `np = 1` and `np = 4` on a
+//! fill-heavy preset and reports the per-rank peak resident Schur
+//! storage (`mem.peak_rank_bytes`, `mem.peak_rank_nnz`) that the
+//! rank-owned data distribution is supposed to shrink. The run fails
+//! (exit 1) unless quadrupling the ranks at least halves the per-rank
+//! peak nnz — the memory-scaling claim CI smoke-checks on every push:
+//!
+//! ```sh
+//! cargo run -p lra-bench --release --bin mem_scaling -- --quick --out BENCH_mem.json
+//! ```
+//!
+//! The `BENCH_*.json` artifact carries one entry per rank count plus
+//! `mem.*.np{N}` gauges under `metrics`, so baselines diff mechanically.
+
+use lra_bench::{fmt_s, timed, BenchConfig, USAGE};
+use lra_core::{ilut_crtp_spmd, IlutOpts, LuCrtpResult, MemStats};
+use lra_matgen::TestMatrix;
+use lra_obs::{BenchEntry, BenchReport, KernelTime, MetricsRegistry, BENCH_SCHEMA_VERSION};
+
+/// Block size for the sweep.
+const BLOCK_K: usize = 16;
+/// Relative tolerance for the sweep.
+const TAU: f64 = 1e-2;
+
+fn main() {
+    let mut out_path = "BENCH_mem_scaling.json".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| fail("--out requires a value")),
+            _ => rest.push(a),
+        }
+    }
+    let cfg = BenchConfig::parse_args(&rest).unwrap_or_else(|err| fail(&err));
+
+    // A fill-heavy block matrix: dense coupled blocks make the Schur
+    // complement fill in, which is exactly the storage the sharded
+    // driver distributes.
+    let tm = matrix(cfg.scale);
+    let a = &tm.a;
+    println!(
+        "MEM SCALING — {} ({}x{}, {} nnz), tau={TAU:.0e}, k={BLOCK_K} (schema v{BENCH_SCHEMA_VERSION})",
+        tm.label,
+        a.rows(),
+        a.cols(),
+        a.nnz()
+    );
+
+    let opts = IlutOpts::new(BLOCK_K, TAU, 4);
+    let reg = MetricsRegistry::new();
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    let mut peaks: Vec<(usize, MemStats)> = Vec::new();
+    for np in [1usize, 4] {
+        let (res, wall) = timed(|| {
+            let mut rs = lra_comm::run_infallible(np, |ctx| ilut_crtp_spmd(ctx, a, &opts));
+            rs.swap_remove(0)
+        });
+        let mem = res.mem.expect("sharded driver reports mem");
+        reg.set_gauge(&format!("mem.peak_rank_bytes.np{np}"), mem.peak_rank_bytes as f64);
+        reg.set_gauge(&format!("mem.peak_rank_nnz.np{np}"), mem.peak_rank_nnz as f64);
+        println!(
+            "np={np}: wall={} rank={} peak_rank_nnz={} peak_rank_bytes={}",
+            fmt_s(wall),
+            res.rank,
+            mem.peak_rank_nnz,
+            mem.peak_rank_bytes
+        );
+        entries.push(entry(&tm, np, wall, &res, cfg.par()));
+        peaks.push((np, mem));
+    }
+
+    let report = BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        bench: "mem_scaling".to_string(),
+        quick: cfg.quick,
+        scale: cfg.scale,
+        max_np: 4,
+        entries,
+        metrics: reg.to_json(),
+    };
+    report
+        .validate()
+        .unwrap_or_else(|err| fail(&format!("generated report failed validation: {err}")));
+    let mut text = report.to_json_string();
+    text.push('\n');
+    std::fs::write(&out_path, text)
+        .unwrap_or_else(|err| fail(&format!("cannot write {out_path}: {err}")));
+    println!("wrote {out_path} ({} entries)", report.entries.len());
+
+    // The tentpole claim: resident Schur storage is O(nnz/np) + panel,
+    // so 4x the ranks must at least halve the per-rank peak.
+    let p1 = peaks[0].1;
+    let p4 = peaks[1].1;
+    if 2 * p4.peak_rank_nnz >= p1.peak_rank_nnz || p4.peak_rank_bytes >= p1.peak_rank_bytes {
+        eprintln!(
+            "FAIL: np=4 peak ({} nnz, {} bytes) not below half of np=1 peak ({} nnz, {} bytes)",
+            p4.peak_rank_nnz, p4.peak_rank_bytes, p1.peak_rank_nnz, p1.peak_rank_bytes
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: per-rank peak nnz {} -> {} ({:.2}x) going np=1 -> np=4",
+        p1.peak_rank_nnz,
+        p4.peak_rank_nnz,
+        p1.peak_rank_nnz as f64 / p4.peak_rank_nnz.max(1) as f64
+    );
+}
+
+fn matrix(scale: usize) -> TestMatrix {
+    let base = lra_matgen::fluid_block(12 * scale.max(1), 10, 31);
+    let a = lra_matgen::with_decay(&base, 1e-7, 33);
+    TestMatrix {
+        label: format!("fluid{}x10", 12 * scale.max(1)),
+        name: "fluid_block+decay".to_string(),
+        description: "fill-heavy coupled fluid blocks with spectral decay".to_string(),
+        a,
+    }
+}
+
+fn entry(
+    tm: &TestMatrix,
+    np: usize,
+    wall: f64,
+    res: &LuCrtpResult,
+    par: lra_core::Parallelism,
+) -> BenchEntry {
+    let true_rel = res.exact_error(&tm.a, par) / res.a_norm_f;
+    BenchEntry {
+        algorithm: "ilut_crtp_spmd".to_string(),
+        matrix: tm.label.clone(),
+        rows: tm.a.rows(),
+        cols: tm.a.cols(),
+        nnz: tm.a.nnz(),
+        tau: TAU,
+        k: BLOCK_K,
+        np,
+        wall_s: wall,
+        kernels: res
+            .timers
+            .report_with_other(wall)
+            .into_iter()
+            .map(|(kernel, seconds)| KernelTime {
+                kernel: kernel.to_string(),
+                seconds,
+            })
+            .collect(),
+        rank: res.rank,
+        iterations: res.iterations,
+        converged: res.converged,
+        est_rel_err: res.indicator / res.a_norm_f,
+        true_rel_err: true_rel,
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE} [--out PATH]");
+    std::process::exit(2);
+}

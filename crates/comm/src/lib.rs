@@ -635,6 +635,102 @@ impl Ctx {
         }
     }
 
+    /// Scatter one (arbitrarily sized) part to each rank from `root`:
+    /// rank `r` returns `parts[r]`. Only the root's `parts` is read
+    /// (it must hold exactly `size` entries); other ranks pass `None`.
+    /// Size-aware counterpart of a broadcast — each rank receives only
+    /// its own share, so payload sizes may differ per destination.
+    pub fn scatterv<M: Send + 'static>(&self, root: usize, parts: Option<Vec<M>>) -> M {
+        unwrap_comm(self.collective("scatterv", || {
+            if self.rank == root {
+                let parts = parts.expect("scatterv: root must supply parts");
+                assert_eq!(
+                    parts.len(),
+                    self.size,
+                    "scatterv: root must supply one part per rank"
+                );
+                let mut own = None;
+                for (dst, part) in parts.into_iter().enumerate() {
+                    if dst == self.rank {
+                        own = Some(part);
+                    } else {
+                        self.send_msg(dst, COLL | 4, part)?;
+                    }
+                }
+                Ok(own.expect("scatterv: own part present"))
+            } else {
+                self.recv_msg::<M>(root, COLL | 4)
+            }
+        }))
+    }
+
+    /// Gather one (arbitrarily sized) part from every rank onto `root`:
+    /// the root returns `Some(parts)` with `parts[r]` = rank `r`'s
+    /// contribution, every other rank returns `None`. Unlike
+    /// [`Ctx::allgather`] the result stays on the root — use it when
+    /// only one rank materializes the combined object (checkpoint
+    /// snapshots, final factor assembly).
+    pub fn gatherv<M: Send + 'static>(&self, root: usize, mine: M) -> Option<Vec<M>> {
+        unwrap_comm(self.collective("gatherv", || {
+            if self.rank == root {
+                let mut all = Vec::with_capacity(self.size);
+                for src in 0..self.size {
+                    if src == self.rank {
+                        // Placeholder replaced below; keeps rank order.
+                        continue;
+                    }
+                    all.push((src, self.recv_msg::<M>(src, COLL | 5)?));
+                }
+                let mut out: Vec<Option<M>> = (0..self.size).map(|_| None).collect();
+                out[self.rank] = Some(mine);
+                for (src, part) in all {
+                    out[src] = Some(part);
+                }
+                Ok(Some(
+                    out.into_iter()
+                        .map(|p| p.expect("gatherv: every rank contributed"))
+                        .collect(),
+                ))
+            } else {
+                self.send_msg(root, COLL | 5, mine)?;
+                Ok(None)
+            }
+        }))
+    }
+
+    /// Personalized all-to-all exchange: rank `r` sends `parts[d]` to
+    /// rank `d` and returns `out` with `out[s]` = the part rank `s`
+    /// addressed to `r`. `parts` must hold exactly `size` entries; parts
+    /// may differ in size per (src, dst) pair. Sends never block (the
+    /// inbox channels are unbounded), so every rank posts all of its
+    /// sends before draining its receives in ascending source order.
+    pub fn alltoallv<M: Send + 'static>(&self, parts: Vec<M>) -> Vec<M> {
+        unwrap_comm(self.collective("alltoallv", || {
+            assert_eq!(
+                parts.len(),
+                self.size,
+                "alltoallv: need one part per rank"
+            );
+            let mut own = None;
+            for (dst, part) in parts.into_iter().enumerate() {
+                if dst == self.rank {
+                    own = Some(part);
+                } else {
+                    self.send_msg(dst, COLL | 6, part)?;
+                }
+            }
+            let mut out = Vec::with_capacity(self.size);
+            for src in 0..self.size {
+                if src == self.rank {
+                    out.push(own.take().expect("alltoallv: own part present"));
+                } else {
+                    out.push(self.recv_msg::<M>(src, COLL | 6)?);
+                }
+            }
+            Ok(out)
+        }))
+    }
+
     fn bcast_parent(&self, root: usize) -> usize {
         let size = self.size;
         let vrank = (self.rank + size - root) % size;
@@ -918,6 +1014,109 @@ mod tests {
                 let expect: Vec<usize> = (0..np).map(|r| r * 10).collect();
                 assert_eq!(per_rank, expect, "np={np}");
             }
+        }
+    }
+
+    #[test]
+    fn scatterv_delivers_each_ranks_part() {
+        for np in [1usize, 2, 3, 5, 8] {
+            for root in [0, np - 1] {
+                let out = run_infallible(np, |ctx| {
+                    let parts = (ctx.rank() == root).then(|| {
+                        (0..ctx.size()).map(|r| vec![r as u64; r + 1]).collect()
+                    });
+                    ctx.scatterv(root, parts)
+                });
+                for (r, v) in out.iter().enumerate() {
+                    assert_eq!(*v, vec![r as u64; r + 1], "np={np} root={root}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gatherv_collects_on_root_only() {
+        for np in [1usize, 2, 4, 7] {
+            for root in [0, np / 2] {
+                let out = run_infallible(np, |ctx| {
+                    ctx.gatherv(root, vec![ctx.rank(); ctx.rank() + 1])
+                });
+                for (r, v) in out.iter().enumerate() {
+                    if r == root {
+                        let got = v.as_ref().expect("root gets the gather");
+                        let expect: Vec<Vec<usize>> =
+                            (0..np).map(|s| vec![s; s + 1]).collect();
+                        assert_eq!(*got, expect, "np={np} root={root}");
+                    } else {
+                        assert!(v.is_none(), "np={np} root={root} rank={r}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_exchanges_personalized_parts() {
+        for np in [1usize, 2, 3, 6] {
+            let out = run_infallible(np, |ctx| {
+                let parts: Vec<(usize, usize, Vec<u8>)> = (0..ctx.size())
+                    .map(|dst| (ctx.rank(), dst, vec![7u8; ctx.rank() + 2 * dst]))
+                    .collect();
+                ctx.alltoallv(parts)
+            });
+            for (dst, per_rank) in out.iter().enumerate() {
+                for (src, got) in per_rank.iter().enumerate() {
+                    assert_eq!(*got, (src, dst, vec![7u8; src + 2 * dst]), "np={np}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sized_collectives_compose_back_to_back() {
+        // scatterv → alltoallv → gatherv chained repeatedly must not
+        // cross-match messages (distinct internal tags per collective).
+        let out = run_infallible(4, |ctx| {
+            let mut acc = 0usize;
+            for round in 0..5usize {
+                let parts =
+                    (ctx.rank() == 0).then(|| (0..4).map(|r| r * 10 + round).collect());
+                let mine = ctx.scatterv(0, parts);
+                let swapped = ctx.alltoallv(vec![mine; 4]);
+                let gathered = ctx.gatherv(3, swapped);
+                if ctx.rank() == 3 {
+                    acc += gathered.unwrap().into_iter().flatten().sum::<usize>();
+                }
+            }
+            acc
+        });
+        // Rank r's scatter value in round q is 10r + q; each rank
+        // broadcasts it via alltoallv, so the gather sums all 16 copies.
+        let expect: usize = (0..5).map(|q| 4 * (0..4).map(|r| r * 10 + q).sum::<usize>()).sum();
+        assert_eq!(out, vec![0, 0, 0, expect]);
+    }
+
+    #[test]
+    fn chaos_kill_inside_sized_collective_is_typed() {
+        let cfg = RunConfig::default()
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(FaultPlan::new().kill_rank_at_op(1, 1));
+        let report = run_with(3, &cfg, |ctx| {
+            let g = ctx.gatherv(0, ctx.rank());
+            let a = ctx.alltoallv(vec![ctx.rank(); 3]);
+            (g, a)
+        });
+        assert!(!report.all_ok());
+        match report.results[1].as_ref().unwrap_err() {
+            CommError::Failed { rank: 1, .. } => {}
+            other => panic!("victim: {other:?}"),
+        }
+        for r in [0usize, 2] {
+            assert!(
+                report.results[r].as_ref().unwrap_err().is_peer_failure(),
+                "rank {r}: {:?}",
+                report.results[r]
+            );
         }
     }
 

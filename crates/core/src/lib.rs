@@ -33,13 +33,14 @@ mod ubv;
 pub use checkpoint::{IlutCheckpoint, LuCrtpCheckpoint, QbCheckpoint, RecoveryHooks};
 pub use lucrtp::{
     ilut_crtp, ilut_crtp_checkpointed, lu_crtp, lu_crtp_checkpointed, Breakdown, DropStrategy,
-    IlutOpts, InvalidInput, IterTrace, LFormation, LuCrtpOpts, LuCrtpResult, OrderingMode,
-    ThresholdReport,
+    IlutOpts, InvalidInput, IterTrace, LFormation, LuCrtpOpts, LuCrtpResult, MemStats,
+    OrderingMode, ThresholdReport,
 };
 pub use qb::{rand_qb_ei, rand_qb_ei_checkpointed, QbError, QbOpts, QbResult, QB_INDICATOR_FLOOR};
 pub use spmd::{
     ilut_crtp_dist, ilut_crtp_dist_checked, ilut_crtp_spmd, ilut_crtp_spmd_checkpointed,
-    lu_crtp_dist, lu_crtp_dist_checked, lu_crtp_spmd, lu_crtp_spmd_checkpointed,
+    ilut_crtp_spmd_replicated, lu_crtp_dist, lu_crtp_dist_checked, lu_crtp_spmd,
+    lu_crtp_spmd_checkpointed, lu_crtp_spmd_replicated,
 };
 pub use supervised::{ilut_crtp_supervised, lu_crtp_supervised, SupervisedError};
 pub use timers::{KernelId, KernelTimers, ALL_KERNELS, N_KERNELS};

@@ -269,6 +269,19 @@ pub struct ThresholdReport {
     pub control_triggered: bool,
 }
 
+/// Peak per-rank memory footprint of a sharded SPMD run. The sharded
+/// driver keeps only a block-column shard of the Schur complement
+/// resident per rank (`O(nnz/np)` plus the `O(b^2)` panel), so these
+/// peaks shrink as ranks are added — the quantity behind the
+/// `mem.peak_rank_bytes` gauge and the CI memory-scaling check.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemStats {
+    /// Max over ranks of the peak resident Schur-shard bytes.
+    pub peak_rank_bytes: u64,
+    /// Max over ranks of the peak resident Schur-shard nonzeros.
+    pub peak_rank_nnz: u64,
+}
+
 /// One iteration of the factorization trace.
 #[derive(Debug, Clone)]
 pub struct IterTrace {
@@ -323,6 +336,10 @@ pub struct LuCrtpResult {
     pub timers: KernelTimers,
     /// Thresholding report (ILUT_CRTP only).
     pub threshold: Option<ThresholdReport>,
+    /// Peak per-rank Schur storage (sharded SPMD driver only; `None`
+    /// for the sequential and replicated drivers, which hold the full
+    /// Schur complement everywhere).
+    pub mem: Option<MemStats>,
 }
 
 impl LuCrtpResult {
@@ -430,7 +447,7 @@ pub fn ilut_crtp_checkpointed(
         dropped: 0,
         control_triggered: false,
     };
-    drive(a, &opts.base.clone(), Some(state), hooks)
+    drive(a, &opts.base, Some(state), hooks)
 }
 
 #[allow(clippy::too_many_lines)]
@@ -470,6 +487,7 @@ fn drive(
                 dropped_mass_sq: s.mass_sq,
                 control_triggered: s.control_triggered,
             }),
+            mem: None,
         };
     }
 
@@ -796,6 +814,7 @@ fn drive(
             dropped_mass_sq: s.mass_sq,
             control_triggered: s.control_triggered,
         }),
+        mem: None,
     }
 }
 

@@ -2,53 +2,84 @@
 //! direct structural port of the paper's MPI implementation
 //! (Section V).
 //!
-//! Data placement mirrors the paper: the (replicated, read-only) Schur
-//! complement is processed with a (block) column distribution; the
-//! column tournament runs its communication-free local stage per rank
-//! followed by `log2(P)` pairwise reduction rounds
-//! ([`lra_qrtp::tournament_columns_spmd`]); the panel factorization is
-//! a TSQR over rank-owned row blocks; `Ā21` rows are scattered for the
-//! `L21` solve and the result is allgathered; the Schur complement
-//! columns are computed rank-locally and allgathered; the error
-//! indicator is a partial-norm allreduce.
+//! Data placement follows the paper's block-column distribution, but
+//! with *rank-owned* storage: each rank holds only its own
+//! [`ColSlice`] shard of the current Schur complement (`O(nnz/np)`
+//! resident per rank), never the full matrix. Per iteration:
+//!
+//! - the column tournament runs its communication-free local stage on
+//!   the owned shard, then `log2(P)` pairwise reduction rounds in
+//!   which winner columns travel with their global ids as compact
+//!   panels ([`lra_qrtp::tournament_columns_spmd_sharded`]);
+//! - the panel TSQR gathers its row blocks from the (replicated,
+//!   `O(b^2)`-ish) winner panel broadcast by the tournament;
+//! - `Ā21` rows are scattered for the `L21` solve and the small `X^T`
+//!   is allgathered (a 1-D column distribution keeps the row panel
+//!   replicated);
+//! - the Schur update is computed only for owned columns, with an
+//!   `alltoallv` re-sharding from the old column partition to the new
+//!   one — no rank ever materializes the full Schur complement;
+//! - the error indicator is a partial-norm allreduce, and ILUT
+//!   thresholding combines per-shard dropped mass through the same
+//!   allreduce tree on every rank.
+//!
+//! Only rank 0 accumulates the factor columns (small per-panel
+//! fragments travel by `gatherv`); the final `L`/`U` are broadcast
+//! once at the end, so the API contract — every rank returns the same
+//! result — is unchanged.
+//!
+//! The previous fully-replicated driver is kept as
+//! [`lu_crtp_spmd_replicated`] / [`ilut_crtp_spmd_replicated`]: it is
+//! the bitwise oracle for the sharded driver (same column partition,
+//! same arithmetic order, same reduction trees) and the reference the
+//! tests compare against.
 
 use crate::lucrtp::{
     schur_update_cols, validate_matrix, Breakdown, DropStrategy, IlutOpts, InvalidInput,
-    IterTrace, LuCrtpOpts, LuCrtpResult, ThresholdReport,
+    IterTrace, LuCrtpOpts, LuCrtpResult, MemStats, ThresholdReport,
 };
 use crate::timers::KernelTimers;
 use lra_comm::{CommError, Ctx, RunConfig};
-use lra_dense::{lu, qr, DenseMatrix};
+use lra_dense::{lu, qr, DenseMatrix, LuFactor};
 use lra_ordering::fill_reducing_order;
-use lra_par::{split_ranges, Parallelism};
-use lra_qrtp::{tournament_columns_spmd, TournamentTree};
-use lra_sparse::CscMatrix;
+use lra_par::{owned_range, split_ranges, Parallelism};
+use lra_qrtp::{
+    tournament_columns_spmd, tournament_columns_spmd_sharded, ColumnSelection, TournamentTree,
+};
+use lra_sparse::{gather_csc, ColSlice, CscMatrix, SparseBuilder};
+use std::ops::Range;
 
 /// SPMD LU_CRTP: every rank calls this with the same `a` and `opts`
 /// inside an [`lra_comm::run`] region; every rank returns the same
 /// result. `opts.par` is ignored (parallelism comes from the ranks).
+/// Each rank keeps only its owned block-column shard of the Schur
+/// complement resident (see the module docs); the result's `mem`
+/// field reports the peak per-rank shard storage.
 pub fn lu_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
     lu_crtp_spmd_checkpointed(ctx, a, opts, None)
 }
 
-/// [`lu_crtp_spmd`] with iteration checkpointing: rank 0 snapshots the
-/// (replicated) loop state through `hooks` at the end of each covered
-/// iteration — a collective boundary, so the snapshot is globally
-/// consistent — and every rank resumes from the store's latest snapshot
-/// when one is present. All ranks must share the same store.
+/// [`lu_crtp_spmd`] with iteration checkpointing: at the end of each
+/// covered iteration — a collective boundary — the shards are gathered
+/// to rank 0, which snapshots the full loop state through `hooks`;
+/// every rank resumes from the store's latest snapshot when one is
+/// present, re-slicing its own shard from the snapshot for the
+/// *current* rank count (so an `np -> np-1` shrink redistributes the
+/// shards implicitly). All ranks must share the same store.
 pub fn lu_crtp_spmd_checkpointed(
     ctx: &Ctx,
     a: &CscMatrix,
     opts: &LuCrtpOpts,
     hooks: Option<&crate::RecoveryHooks<'_>>,
 ) -> LuCrtpResult {
-    lra_obs::trace::span("lu_crtp_spmd", || drive_spmd(ctx, a, opts, None, hooks))
+    lra_obs::trace::span("lu_crtp_spmd", || drive_spmd_sharded(ctx, a, opts, None, hooks))
 }
 
 /// SPMD ILUT_CRTP (Algorithm 3 over ranks): identical distribution to
-/// [`lu_crtp_spmd`] plus replicated deterministic thresholding — every
-/// rank holds the same Schur complement and drops the same entries, so
-/// no extra communication is needed for the threshold bookkeeping.
+/// [`lu_crtp_spmd`] plus sharded deterministic thresholding — each
+/// rank drops entries of its own shard and the dropped-mass partials
+/// are combined through a fixed allreduce tree, so all ranks agree on
+/// the threshold bookkeeping bit for bit.
 pub fn ilut_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
     ilut_crtp_spmd_checkpointed(ctx, a, opts, None)
 }
@@ -70,7 +101,36 @@ pub fn ilut_crtp_spmd_checkpointed(
         control_triggered: false,
     };
     lra_obs::trace::span("ilut_crtp_spmd", || {
-        drive_spmd(ctx, a, &opts.base.clone(), Some(state), hooks)
+        drive_spmd_sharded(ctx, a, &opts.base, Some(state), hooks)
+    })
+}
+
+/// The fully-replicated SPMD LU_CRTP driver (every rank holds the
+/// whole Schur complement). Kept as the bitwise oracle for
+/// [`lu_crtp_spmd`]: the sharded driver partitions columns exactly as
+/// this driver partitions its per-rank work, so the two produce
+/// bit-identical results while differing only in resident storage.
+#[doc(hidden)]
+pub fn lu_crtp_spmd_replicated(ctx: &Ctx, a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
+    lra_obs::trace::span("lu_crtp_spmd_replicated", || {
+        drive_spmd_replicated(ctx, a, opts, None, None)
+    })
+}
+
+/// Replicated-storage oracle for [`ilut_crtp_spmd`] (see
+/// [`lu_crtp_spmd_replicated`]).
+#[doc(hidden)]
+pub fn ilut_crtp_spmd_replicated(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
+    let state = SpmdIlutState {
+        cfg: opts.clone(),
+        mu: 0.0,
+        phi: 0.0,
+        mass_sq: 0.0,
+        dropped: 0,
+        control_triggered: false,
+    };
+    lra_obs::trace::span("ilut_crtp_spmd_replicated", || {
+        drive_spmd_replicated(ctx, a, &opts.base, Some(state), None)
     })
 }
 
@@ -106,8 +166,509 @@ struct SpmdIlutState {
     control_triggered: bool,
 }
 
+impl SpmdIlutState {
+    fn report(&self) -> ThresholdReport {
+        ThresholdReport {
+            mu: self.mu,
+            phi: self.phi,
+            dropped: self.dropped,
+            dropped_mass_sq: self.mass_sq,
+            control_triggered: self.control_triggered,
+        }
+    }
+}
+
+/// The per-iteration blocks a rank derives from the (replicated)
+/// pivot panel and its owned shard: `Ā11`/`Ā21` are replicated (they
+/// are `O(b^2)` / `O(b)`-column objects built from the broadcast
+/// panel), `Ā12`/`Ā22` exist only as the owned piece covering the
+/// rank's run of rest columns.
+struct PanelSplit {
+    a11: DenseMatrix,
+    a21: CscMatrix,
+    rest_rows: Vec<usize>,
+    rest_cols: Vec<usize>,
+    /// Positions into `rest_cols` whose columns this rank owns (a
+    /// contiguous run, since both orderings are ascending).
+    my_run: Range<usize>,
+    /// `Ā12` restricted to the owned rest columns.
+    a12_piece: CscMatrix,
+    /// `Ā22` restricted to the owned rest columns.
+    a22_piece: CscMatrix,
+}
+
+/// Panel engine for the sharded SPMD driver: the communicator, the
+/// rank's owned block-column [`ColSlice`] of the current Schur
+/// complement, and the replicated global dimensions, with one method
+/// per distributed stage of an LU_CRTP iteration. The shard invariant:
+/// after construction and after every [`Self::schur_redistribute`],
+/// this rank owns exactly `owned_range(split_ranges(n_cur, size),
+/// rank)` — the same partition the replicated oracle uses for its
+/// per-rank work, which is what makes the two drivers bit-identical.
+struct SpmdPanelCtx<'a> {
+    ctx: &'a Ctx,
+    rank: usize,
+    size: usize,
+    shard: ColSlice,
+    /// Global column count of the (virtual) Schur complement.
+    n_cur: usize,
+    peak_bytes: usize,
+    peak_nnz: usize,
+}
+
+impl<'a> SpmdPanelCtx<'a> {
+    fn new(ctx: &'a Ctx, shard: ColSlice, n_cur: usize) -> Self {
+        let mut eng = SpmdPanelCtx {
+            ctx,
+            rank: ctx.rank(),
+            size: ctx.size(),
+            shard,
+            n_cur,
+            peak_bytes: 0,
+            peak_nnz: 0,
+        };
+        eng.note_mem();
+        eng
+    }
+
+    /// Slice this rank's shard out of a full (e.g. checkpointed)
+    /// Schur complement under the *current* rank count — resuming a
+    /// snapshot written by a larger grid redistributes implicitly.
+    fn from_full(ctx: &'a Ctx, s: &CscMatrix) -> Self {
+        let ranges = split_ranges(s.cols(), ctx.size());
+        let my = owned_range(&ranges, ctx.rank());
+        Self::new(ctx, ColSlice::from_full(s, my), s.cols())
+    }
+
+    fn note_mem(&mut self) {
+        self.peak_bytes = self.peak_bytes.max(self.shard.resident_bytes());
+        self.peak_nnz = self.peak_nnz.max(self.shard.nnz());
+    }
+
+    fn m_act(&self) -> usize {
+        self.shard.rows()
+    }
+
+    /// Column tournament over the distributed Schur complement; winner
+    /// columns travel with their global ids, and the selected panel is
+    /// broadcast so every rank holds the `O(m b)` pivot columns.
+    fn col_tournament(&self, k_want: usize) -> (ColumnSelection, CscMatrix) {
+        tournament_columns_spmd_sharded(self.ctx, &self.shard, k_want)
+    }
+
+    /// Panel TSQR over rank-owned row blocks of the broadcast pivot
+    /// panel: local QR, allgather the small R factors, replicated root
+    /// QR, local Q reconstruction, allgather the Q blocks. Identical
+    /// arithmetic to the replicated oracle — the dense row blocks
+    /// gathered from the compact panel equal those gathered from the
+    /// full Schur complement.
+    fn panel_qr(&self, panel: &CscMatrix, k_eff: usize) -> (Vec<f64>, DenseMatrix) {
+        let m_act = self.m_act();
+        let pidx: Vec<usize> = (0..k_eff).collect();
+        let blocks = split_ranges(m_act, self.size.min((m_act / k_eff.max(1)).max(1)));
+        let my_block = blocks.get(self.rank).cloned();
+        let (my_r, my_f) = match &my_block {
+            Some(rg) => {
+                let local = panel.gather_columns_rows_dense(&pidx, rg.clone());
+                let f = qr(&local, Parallelism::SEQ);
+                (f.r(), Some(f))
+            }
+            None => (DenseMatrix::zeros(0, k_eff), None),
+        };
+        let all_r: Vec<DenseMatrix> = self.ctx.allgather(my_r);
+        let mut stacked: Option<DenseMatrix> = None;
+        for r in all_r {
+            if r.rows() == 0 {
+                continue;
+            }
+            stacked = Some(match stacked {
+                None => r,
+                Some(prev) => prev.vcat(&r),
+            });
+        }
+        let top = qr(&stacked.expect("empty panel"), Parallelism::SEQ);
+        let panel_r_diag: Vec<f64> =
+            top.r_diag().iter().map(|v| v.abs()).take(k_eff).collect();
+        let qs = top.q_thin(Parallelism::SEQ);
+        // Back-propagate this rank's block of Q.
+        let my_q = match (&my_block, my_f) {
+            (Some(rg), Some(f)) => {
+                // Rows of qs owned by this rank: blocks before ours
+                // contribute min(block_len, k_eff) rows each.
+                let mut off = 0;
+                for (b, brange) in blocks.iter().enumerate() {
+                    if b == self.rank {
+                        break;
+                    }
+                    off += brange.len().min(k_eff);
+                }
+                let my_rows = rg.len().min(k_eff);
+                let mut piece = DenseMatrix::zeros(rg.len(), k_eff);
+                for j in 0..k_eff {
+                    for i in 0..my_rows {
+                        piece.set(i, j, qs.get(off + i, j));
+                    }
+                }
+                f.apply_q(&mut piece, Parallelism::SEQ);
+                piece
+            }
+            _ => DenseMatrix::zeros(0, k_eff),
+        };
+        let all_q: Vec<DenseMatrix> = self.ctx.allgather(my_q);
+        let mut qk = DenseMatrix::zeros(m_act, k_eff);
+        let mut row0 = 0;
+        for q in all_q {
+            if q.rows() == 0 {
+                continue;
+            }
+            qk.set_submatrix(row0, 0, &q);
+            row0 += q.rows();
+        }
+        (panel_r_diag, qk)
+    }
+
+    /// The `[Ā11 Ā12; Ā21 Ā22]` split of Algorithm 2 line 8, sharded:
+    /// the pivot blocks come from the replicated panel, the rest
+    /// blocks only from the owned columns. Entry classification, sort,
+    /// and zero-skipping mirror `CscMatrix::split_blocks` exactly.
+    fn split_panel(
+        &self,
+        panel: &CscMatrix,
+        pivot_rows: &[usize],
+        pivot_cols: &[usize],
+    ) -> PanelSplit {
+        let k = pivot_rows.len();
+        let m_act = self.m_act();
+        const UNSET: usize = usize::MAX;
+        let mut row_new = vec![UNSET; m_act];
+        for (p, &r) in pivot_rows.iter().enumerate() {
+            debug_assert!(row_new[r] == UNSET, "duplicate pivot row");
+            row_new[r] = p;
+        }
+        let mut rest_rows = Vec::with_capacity(m_act - k);
+        for r in 0..m_act {
+            if row_new[r] == UNSET {
+                row_new[r] = k + rest_rows.len();
+                rest_rows.push(r);
+            }
+        }
+        let mut col_is_pivot = vec![false; self.n_cur];
+        for &c in pivot_cols {
+            debug_assert!(!col_is_pivot[c], "duplicate pivot column");
+            col_is_pivot[c] = true;
+        }
+        let rest_cols: Vec<usize> = (0..self.n_cur).filter(|&c| !col_is_pivot[c]).collect();
+
+        let mut a11 = DenseMatrix::zeros(k, k);
+        let mut a21 = SparseBuilder::new(m_act - k, k);
+        let mut buf_top: Vec<(usize, f64)> = Vec::new();
+        let mut buf_bot: Vec<(usize, f64)> = Vec::new();
+        for p in 0..k {
+            let (ri, vs) = panel.col(p);
+            buf_bot.clear();
+            for (&r, &v) in ri.iter().zip(vs) {
+                let nr = row_new[r];
+                if nr < k {
+                    a11.set(nr, p, v);
+                } else {
+                    buf_bot.push((nr - k, v));
+                }
+            }
+            buf_bot.sort_unstable_by_key(|&(r, _)| r);
+            a21.push_col(&buf_bot);
+        }
+
+        // The owned rest columns form a contiguous run of `rest_cols`
+        // positions (both orderings ascend).
+        let rg = self.shard.col_range();
+        let lo = rest_cols.partition_point(|&c| c < rg.start);
+        let hi = rest_cols.partition_point(|&c| c < rg.end);
+        let my_run = lo..hi;
+        let mut a12 = SparseBuilder::new(k, my_run.len());
+        let mut a22 = SparseBuilder::new(m_act - k, my_run.len());
+        for &c in &rest_cols[my_run.clone()] {
+            let (ri, vs) = self.shard.col(c);
+            buf_top.clear();
+            buf_bot.clear();
+            for (&r, &v) in ri.iter().zip(vs) {
+                let nr = row_new[r];
+                if nr < k {
+                    buf_top.push((nr, v));
+                } else {
+                    buf_bot.push((nr - k, v));
+                }
+            }
+            buf_top.sort_unstable_by_key(|&(r, _)| r);
+            buf_bot.sort_unstable_by_key(|&(r, _)| r);
+            a12.push_col(&buf_top);
+            a22.push_col(&buf_bot);
+        }
+        PanelSplit {
+            a11,
+            a21: a21.finish(),
+            rest_rows,
+            rest_cols,
+            my_run,
+            a12_piece: a12.finish(),
+            a22_piece: a22.finish(),
+        }
+    }
+
+    /// `L21` solve: `Ā21` rows scattered across ranks, `Ā11`
+    /// replicated (broadcast in the paper), result allgathered — the
+    /// small dense `X^T` is needed in full by every rank's Schur
+    /// correction under a 1-D column distribution.
+    fn solve_l21(
+        &self,
+        a21: &CscMatrix,
+        lu11: &LuFactor,
+        k_eff: usize,
+    ) -> (Vec<usize>, DenseMatrix) {
+        let a21t = a21.transpose();
+        let x_rows: Vec<usize> = (0..a21t.cols()).filter(|&c| a21t.col_nnz(c) > 0).collect();
+        let nr = x_rows.len();
+        let ranges = split_ranges(nr, self.size);
+        let my_range = owned_range(&ranges, self.rank);
+        let mut my_xt = DenseMatrix::zeros(k_eff, my_range.len());
+        for (slot, xi) in my_range.clone().enumerate() {
+            let col = my_xt.col_mut(slot);
+            let (ri, vs) = a21t.col(x_rows[xi]);
+            for (&t, &v) in ri.iter().zip(vs) {
+                col[t] = v;
+            }
+            lu11.solve_transpose_slice(col);
+        }
+        let all_xt: Vec<DenseMatrix> = self.ctx.allgather(my_xt);
+        let mut xt = DenseMatrix::zeros(k_eff, nr);
+        let mut c0 = 0;
+        for part in all_xt {
+            if part.cols() == 0 {
+                continue;
+            }
+            xt.set_submatrix(0, c0, &part);
+            c0 += part.cols();
+        }
+        (x_rows, xt)
+    }
+
+    /// Schur update on owned columns only, with an `alltoallv`
+    /// re-sharding from the old column partition to the new one. Both
+    /// partitions are ascending contiguous tilings, so each (src, dst)
+    /// exchange is one contiguous column run and concatenating the
+    /// received runs in source-rank order reassembles the new owned
+    /// block in order. The updated shard replaces the old one — the
+    /// full next Schur complement is never materialized.
+    fn schur_redistribute(&mut self, sp: &PanelSplit, x_rows: &[usize], xt: &DenseMatrix) {
+        let m_rest = sp.a22_piece.rows();
+        let n_rest = sp.rest_cols.len();
+        let new_ranges = split_ranges(n_rest, self.size);
+        let my_run = &sp.my_run;
+        let mut parts: Vec<(CscMatrix, CscMatrix)> = Vec::with_capacity(self.size);
+        for dst in 0..self.size {
+            let drg = owned_range(&new_ranges, dst);
+            let lo = my_run.start.max(drg.start);
+            let hi = my_run.end.min(drg.end);
+            let local = if lo < hi {
+                (lo - my_run.start)..(hi - my_run.start)
+            } else {
+                0..0
+            };
+            parts.push((
+                ColSlice::from_full(&sp.a12_piece, local.clone()).into_local(),
+                ColSlice::from_full(&sp.a22_piece, local).into_local(),
+            ));
+        }
+        let got = self.ctx.alltoallv(parts);
+        let (p12, p22): (Vec<CscMatrix>, Vec<CscMatrix>) = got.into_iter().unzip();
+        let a12_own = gather_csc(&p12);
+        let a22_own = gather_csc(&p22);
+        let my_new = owned_range(&new_ranges, self.rank);
+        debug_assert_eq!(a22_own.cols(), my_new.len());
+        let (lens, rows_out, vals_out) =
+            schur_update_cols(&a22_own, x_rows, xt, &a12_own, 0..a22_own.cols());
+        let mut colptr = Vec::with_capacity(lens.len() + 1);
+        colptr.push(0);
+        let mut run = 0usize;
+        for l in lens {
+            run += l;
+            colptr.push(run);
+        }
+        let next_local = CscMatrix::from_parts(m_rest, my_new.len(), colptr, rows_out, vals_out);
+        self.shard = ColSlice::new(my_new.start, next_local);
+        self.n_cur = n_rest;
+        self.note_mem();
+    }
+
+    /// Gather this iteration's `U` fragments — `(global column, value)`
+    /// pairs from each rank's owned `Ā12` piece, keyed by panel row —
+    /// to rank 0, which alone accumulates the factors. Returns `None`
+    /// on every other rank.
+    fn factor_fragments(
+        &self,
+        sp: &PanelSplit,
+        col_map: &[usize],
+        k_eff: usize,
+    ) -> Option<Vec<Vec<(usize, f64)>>> {
+        let mut frags: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k_eff];
+        for (slot, j) in sp.my_run.clone().enumerate() {
+            let gcol = col_map[sp.rest_cols[j]];
+            let (ri, vs) = sp.a12_piece.col(slot);
+            for (&t, &v) in ri.iter().zip(vs) {
+                frags[t].push((gcol, v));
+            }
+        }
+        let gathered = self.ctx.gatherv(0, frags)?;
+        let mut out: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k_eff];
+        for rank_frags in gathered {
+            for (t, f) in rank_frags.into_iter().enumerate() {
+                out[t].extend(f);
+            }
+        }
+        Some(out)
+    }
+
+    /// Error indicator `||A^(i+1)||_F`: partial squared norm of the
+    /// owned shard + allreduce — the same per-column summation nesting
+    /// and reduction tree as the replicated oracle.
+    fn indicator(&self) -> f64 {
+        self.ctx
+            .allreduce(self.shard.fro_norm_sq_cols(), |x, y| x + y)
+            .sqrt()
+    }
+
+    /// Global nnz of the distributed Schur complement (exact — integer
+    /// allreduce over shard counts).
+    fn schur_nnz_global(&self) -> usize {
+        self.ctx.allreduce(self.shard.nnz() as u64, |x, y| x + y) as usize
+    }
+
+    /// ILUT_CRTP lines 5, 8-10 over the distributed Schur complement:
+    /// each rank drops within its shard; dropped-mass partials combine
+    /// through the same allreduce tree on every rank, so the control
+    /// decision (eq. 22) is replicated bit for bit.
+    fn ilut_drop(&mut self, state: &mut SpmdIlutState) {
+        match state.cfg.strategy {
+            DropStrategy::Fixed => {
+                let (dropped_shard, my_mass, my_count) = self.shard.drop_below(state.mu);
+                let (mass, count) = self
+                    .ctx
+                    .allreduce((my_mass, my_count as u64), |x, y| (x.0 + y.0, x.1 + y.1));
+                if (state.mass_sq + mass).sqrt() >= state.phi {
+                    state.control_triggered = true;
+                    state.mu = 0.0;
+                } else {
+                    state.mass_sq += mass;
+                    state.dropped += count as usize;
+                    self.shard = dropped_shard;
+                }
+            }
+            DropStrategy::Aggressive => {
+                let budget = state.phi * state.phi - state.mass_sq;
+                if budget <= 0.0 {
+                    return;
+                }
+                // Concatenating per-shard candidate lists in rank order
+                // and sorting yields the full matrix's sorted list.
+                let all: Vec<Vec<f64>> = self
+                    .ctx
+                    .allgather(self.shard.small_entry_magnitudes(state.phi));
+                let mut mags: Vec<f64> = all.concat();
+                mags.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                let mut run = 0.0;
+                let mut cutoff = 0.0;
+                for &v in &mags {
+                    if run + v * v >= budget {
+                        break;
+                    }
+                    run += v * v;
+                    cutoff = v;
+                }
+                if cutoff > 0.0 {
+                    let thr = cutoff * (1.0 + 1e-15) + f64::MIN_POSITIVE;
+                    let (dropped_shard, my_mass, my_count) = self.shard.drop_below(thr);
+                    let (mass, count) = self
+                        .ctx
+                        .allreduce((my_mass, my_count as u64), |x, y| (x.0 + y.0, x.1 + y.1));
+                    if (state.mass_sq + mass).sqrt() < state.phi {
+                        state.mass_sq += mass;
+                        state.dropped += count as usize;
+                        self.shard = dropped_shard;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sharded snapshot: gather per-rank shard envelopes to rank 0 at
+    /// this collective boundary and let rank 0 write the (full,
+    /// format-unchanged) checkpoint — sequential and supervised
+    /// consumers keep working, and a resume under a smaller grid
+    /// re-slices the shards. Every rank must call this (it contains a
+    /// collective); only rank 0 touches the store.
+    #[allow(clippy::too_many_arguments)]
+    fn save_checkpoint(
+        &self,
+        h: &crate::RecoveryHooks<'_>,
+        m: usize,
+        n: usize,
+        iterations: usize,
+        k_rank: usize,
+        indicator: f64,
+        r11: f64,
+        row_map: &[usize],
+        col_map: &[usize],
+        l_cols: &[Vec<(usize, f64)>],
+        ut_cols: &[Vec<(usize, f64)>],
+        pivot_rows: &[usize],
+        pivot_cols: &[usize],
+        trace: &[IterTrace],
+        ilut: Option<&SpmdIlutState>,
+    ) {
+        let parts = self.ctx.gatherv(0, self.shard.local().clone());
+        if let Some(parts) = parts {
+            let full = gather_csc(&parts);
+            let ck = crate::checkpoint::make_snapshot(
+                m,
+                n,
+                iterations,
+                k_rank,
+                indicator,
+                r11,
+                &full,
+                row_map,
+                col_map,
+                l_cols,
+                ut_cols,
+                pivot_rows,
+                pivot_cols,
+                trace,
+                ilut.map(|st| crate::checkpoint::IlutCheckpoint {
+                    mu: st.mu,
+                    phi: st.phi,
+                    mass_sq: st.mass_sq,
+                    dropped: st.dropped,
+                    control_triggered: st.control_triggered,
+                }),
+            );
+            crate::checkpoint::save_snapshot(h, &ck);
+        }
+    }
+
+    /// Max-over-ranks peak shard storage (identical on every rank).
+    fn mem_stats(&self) -> MemStats {
+        let (bytes, nnz) = self.ctx.allreduce(
+            (self.peak_bytes as u64, self.peak_nnz as u64),
+            |x, y| (x.0.max(y.0), x.1.max(y.1)),
+        );
+        MemStats {
+            peak_rank_bytes: bytes,
+            peak_rank_nnz: nnz,
+        }
+    }
+}
+
 #[allow(clippy::too_many_lines)]
-fn drive_spmd(
+fn drive_spmd_sharded(
     ctx: &Ctx,
     a: &CscMatrix,
     opts: &LuCrtpOpts,
@@ -137,13 +698,350 @@ fn drive_spmd(
             r11: 0.0,
             trace: Vec::new(),
             timers,
-            threshold: ilut.map(|st| ThresholdReport {
-                mu: st.mu,
-                phi: st.phi,
-                dropped: st.dropped,
-                dropped_mass_sq: st.mass_sq,
-                control_triggered: st.control_triggered,
-            }),
+            threshold: ilut.map(|st| st.report()),
+            mem: Some(MemStats::default()),
+        };
+    }
+
+    let mut row_map: Vec<usize>;
+    let mut col_map: Vec<usize>;
+    // Factor columns accumulate on rank 0 only; everyone else keeps
+    // these empty and receives L/U in the final broadcast.
+    let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut ut_cols: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut pivot_rows_glob: Vec<usize> = Vec::new();
+    let mut pivot_cols_glob: Vec<usize> = Vec::new();
+    let mut trace: Vec<IterTrace> = Vec::new();
+    let mut k_rank = 0usize;
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut breakdown = None;
+    let mut indicator = a_norm_f;
+    let mut r11 = 0.0f64;
+
+    // Resume: every rank loads the same shared store and re-slices its
+    // own shard for the *current* rank count — a snapshot written by a
+    // larger grid redistributes here with no extra communication.
+    let resume = hooks.and_then(|h| crate::checkpoint::load_resume(h, m, n, ilut.is_some()));
+    let mut eng: SpmdPanelCtx<'_>;
+    if let Some(ck) = resume {
+        row_map = ck.row_map;
+        col_map = ck.col_map;
+        if rank == 0 {
+            l_cols = ck.l_cols;
+            ut_cols = ck.ut_cols;
+        }
+        pivot_rows_glob = ck.pivot_rows;
+        pivot_cols_glob = ck.pivots.selected;
+        trace = ck.trace;
+        k_rank = ck.rank;
+        iterations = ck.iterations;
+        indicator = ck.indicator;
+        r11 = ck.r11;
+        if let (Some(st), Some(ick)) = (ilut.as_mut(), ck.ilut) {
+            st.mu = ick.mu;
+            st.phi = ick.phi;
+            st.mass_sq = ick.mass_sq;
+            st.dropped = ick.dropped;
+            st.control_triggered = ick.control_triggered;
+        }
+        eng = SpmdPanelCtx::from_full(ctx, &ck.s);
+    } else {
+        // Preprocessing on rank 0, broadcast (COLAMD is intrinsically
+        // sequential — "we apply COLAMD as a preprocessing step").
+        let initial_cols: Vec<usize> = match opts.ordering {
+            crate::OrderingMode::Natural => (0..n).collect(),
+            _ => {
+                let p = if rank == 0 {
+                    fill_reducing_order(a)
+                } else {
+                    Vec::new()
+                };
+                ctx.broadcast(0, p)
+            }
+        };
+        // Only the owned block of the permuted input is extracted; the
+        // full Schur complement never exists on any rank.
+        let ranges = split_ranges(n, size);
+        let my = owned_range(&ranges, rank);
+        let local = a.select_columns(&initial_cols[my.clone()]);
+        eng = SpmdPanelCtx::new(ctx, ColSlice::new(my.start, local), n);
+        row_map = (0..m).collect();
+        col_map = initial_cols;
+    }
+
+    loop {
+        ctx.begin_iteration(iterations as u64 + 1);
+        if eng.m_act() == 0 || eng.n_cur == 0 || k_rank >= rank_cap {
+            if indicator >= stop {
+                breakdown = Some(Breakdown::RankExhausted);
+            }
+            break;
+        }
+        let k_want = opts.k.min(eng.n_cur).min(eng.m_act()).min(rank_cap - k_rank);
+
+        // Column tournament: distributed matrix, distributed tree.
+        let (sel, panel) = timers.time(crate::KernelId::ColTournament, || {
+            eng.col_tournament(k_want)
+        });
+        if iterations == 0 {
+            r11 = sel.r_diag.first().copied().unwrap_or(0.0).abs();
+        }
+        let k_eff = sel.selected.len();
+        if k_eff == 0 {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+
+        let mut panel_r_diag: Vec<f64> = Vec::new();
+        let qk = timers.time(crate::KernelId::PanelQr, || {
+            let (d, q) = eng.panel_qr(&panel, k_eff);
+            panel_r_diag = d;
+            q
+        });
+        if panel_r_diag.iter().any(|v| !v.is_finite()) {
+            lra_recover::record_guard_trip(format!(
+                "non-finite panel R diagonal at iteration {}",
+                iterations + 1
+            ));
+            breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
+
+        // Row tournament on Q_k^T (replicated input, distributed tree).
+        let rows = timers.time(crate::KernelId::RowTournament, || {
+            let qt = qk.transpose();
+            tournament_columns_spmd(ctx, &qt, None, k_eff).selected
+        });
+        if rows.len() < k_eff {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+
+        // Split: replicated pivot blocks, owned rest pieces.
+        let sp = timers.time(crate::KernelId::Permute, || {
+            eng.split_panel(&panel, &rows, &sel.selected)
+        });
+
+        let lu11 = lu(&sp.a11);
+        if lu11.is_singular() {
+            breakdown = Some(Breakdown::SingularPivotBlock);
+            break;
+        }
+
+        let (x_rows, xt) = timers.time(crate::KernelId::LSolve, || {
+            eng.solve_l21(&sp.a21, &lu11, k_eff)
+        });
+
+        // Schur complement on owned columns + re-sharding alltoallv.
+        timers.time(crate::KernelId::Schur, || {
+            eng.schur_redistribute(&sp, &x_rows, &xt);
+        });
+
+        // Record factors: fragments gathered to rank 0; pivot lists
+        // are replicated bookkeeping on every rank.
+        timers.time(crate::KernelId::Concat, || {
+            let frags = eng.factor_fragments(&sp, &col_map, k_eff);
+            if let Some(frags) = frags {
+                for (t, frag) in frags.into_iter().enumerate() {
+                    let mut ucol: Vec<(usize, f64)> = Vec::new();
+                    for (p, &c_loc) in sel.selected.iter().enumerate() {
+                        let v = sp.a11.get(t, p);
+                        if v != 0.0 {
+                            ucol.push((col_map[c_loc], v));
+                        }
+                    }
+                    ucol.extend(frag);
+                    // Column keys are globally unique, so the sorted
+                    // order is independent of gather order.
+                    ucol.sort_unstable_by_key(|&(c, _)| c);
+                    ut_cols.push(ucol);
+
+                    let mut lcol: Vec<(usize, f64)> = Vec::new();
+                    lcol.push((row_map[rows[t]], 1.0));
+                    for (xi, &r_rest) in x_rows.iter().enumerate() {
+                        let v = xt.get(t, xi);
+                        if v != 0.0 {
+                            lcol.push((row_map[sp.rest_rows[r_rest]], v));
+                        }
+                    }
+                    lcol.sort_unstable_by_key(|&(r, _)| r);
+                    l_cols.push(lcol);
+                }
+            }
+            pivot_rows_glob.extend(rows.iter().map(|&r| row_map[r]));
+            pivot_cols_glob.extend(sel.selected.iter().map(|&c| col_map[c]));
+        });
+
+        k_rank += k_eff;
+        iterations += 1;
+
+        // Error indicator: partial squared norm + allreduce over the
+        // genuinely distributed Schur complement.
+        indicator = timers.time(crate::KernelId::Indicator, || eng.indicator());
+        if !indicator.is_finite() {
+            lra_recover::record_guard_trip(format!(
+                "non-finite error indicator at iteration {iterations}"
+            ));
+            breakdown = Some(Breakdown::NonFinite);
+            break;
+        }
+        let g_nnz = eng.schur_nnz_global();
+        let m_rest = eng.m_act();
+        let n_rest = eng.n_cur;
+        trace.push(IterTrace {
+            iteration: iterations,
+            rank: k_rank,
+            indicator,
+            schur_nnz: g_nnz,
+            schur_density: if m_rest == 0 || n_rest == 0 {
+                0.0
+            } else {
+                g_nnz as f64 / (m_rest as f64 * n_rest as f64)
+            },
+            schur_nnz_per_row: if m_rest == 0 {
+                0.0
+            } else {
+                g_nnz as f64 / m_rest as f64
+            },
+            r_diag: panel_r_diag.clone(),
+        });
+        if indicator < stop {
+            converged = true;
+            break;
+        }
+        if k_rank >= rank_cap {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+
+        if let Some(state) = ilut.as_mut() {
+            if iterations == 1 {
+                state.mu = opts.tau * r11
+                    / (state.cfg.u_estimate as f64 * (a.nnz().max(1) as f64).sqrt());
+                state.phi = state.cfg.phi_factor * opts.tau * r11;
+            }
+            if state.mu > 0.0 {
+                timers.time(crate::KernelId::Drop, || eng.ilut_drop(state));
+            }
+        }
+
+        row_map = sp.rest_rows.iter().map(|&r| row_map[r]).collect();
+        col_map = sp.rest_cols.iter().map(|&c| col_map[c]).collect();
+
+        // Collective boundary: indicator allreduce and sharded drop are
+        // done, so shards + replicated state form a consistent global
+        // snapshot. All ranks enter (the gather is collective).
+        if let Some(h) = hooks {
+            if h.should_save(iterations) {
+                eng.save_checkpoint(
+                    h,
+                    m,
+                    n,
+                    iterations,
+                    k_rank,
+                    indicator,
+                    r11,
+                    &row_map,
+                    &col_map,
+                    &l_cols,
+                    &ut_cols,
+                    &pivot_rows_glob,
+                    &pivot_cols_glob,
+                    &trace,
+                    ilut.as_ref(),
+                );
+            }
+        }
+        if iterations > 4 * (m.min(n) / opts.k.max(1) + 2) {
+            breakdown = Some(Breakdown::RankExhausted);
+            break;
+        }
+    }
+
+    let mem = eng.mem_stats();
+    if rank == 0 {
+        let g = lra_obs::metrics::global();
+        g.set_gauge("mem.peak_rank_bytes", mem.peak_rank_bytes as f64);
+        g.set_gauge("mem.peak_rank_nnz", mem.peak_rank_nnz as f64);
+    }
+
+    // Materialize the factors on rank 0, then one final broadcast so
+    // every rank returns the same result.
+    let (l, u) = {
+        let pair = if rank == 0 {
+            let l = {
+                let mut b = SparseBuilder::new(m, l_cols.len());
+                for col in &l_cols {
+                    b.push_col(col);
+                }
+                b.finish()
+            };
+            let u = {
+                let mut b = SparseBuilder::new(n, ut_cols.len());
+                for col in &ut_cols {
+                    b.push_col(col);
+                }
+                b.finish().transpose()
+            };
+            (l, u)
+        } else {
+            (CscMatrix::zeros(0, 0), CscMatrix::zeros(0, 0))
+        };
+        ctx.broadcast(0, pair)
+    };
+    LuCrtpResult {
+        l,
+        u,
+        pivot_rows: pivot_rows_glob,
+        pivot_cols: pivot_cols_glob,
+        rank: k_rank,
+        iterations,
+        converged,
+        breakdown,
+        indicator,
+        a_norm_f,
+        r11,
+        trace,
+        timers,
+        threshold: ilut.map(|st| st.report()),
+        mem: Some(mem),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn drive_spmd_replicated(
+    ctx: &Ctx,
+    a: &CscMatrix,
+    opts: &LuCrtpOpts,
+    mut ilut: Option<SpmdIlutState>,
+    hooks: Option<&crate::RecoveryHooks<'_>>,
+) -> LuCrtpResult {
+    let m = a.rows();
+    let n = a.cols();
+    let size = ctx.size();
+    let rank = ctx.rank();
+    let mut timers = KernelTimers::new();
+    let a_norm_f = a.fro_norm();
+    let stop = opts.tau * a_norm_f;
+    let rank_cap = opts.max_rank.unwrap_or(usize::MAX).min(m.min(n));
+    if a_norm_f == 0.0 {
+        return LuCrtpResult {
+            l: CscMatrix::zeros(m, 0),
+            u: CscMatrix::zeros(0, n),
+            pivot_rows: Vec::new(),
+            pivot_cols: Vec::new(),
+            rank: 0,
+            iterations: 0,
+            converged: true,
+            breakdown: None,
+            indicator: 0.0,
+            a_norm_f,
+            r11: 0.0,
+            trace: Vec::new(),
+            timers,
+            threshold: ilut.map(|st| st.report()),
+            mem: None,
         };
     }
 
@@ -334,7 +1232,7 @@ fn drive_spmd(
                 (0..a21t.cols()).filter(|&c| a21t.col_nnz(c) > 0).collect();
             let nr = x_rows.len();
             let ranges = split_ranges(nr, size);
-            let my_range = ranges.get(rank).cloned().unwrap_or(0..0);
+            let my_range = owned_range(&ranges, rank);
             let mut my_xt = DenseMatrix::zeros(k_eff, my_range.len());
             for (slot, xi) in my_range.clone().enumerate() {
                 let col = my_xt.col_mut(slot);
@@ -361,7 +1259,7 @@ fn drive_spmd(
         let mut s_next = timers.time(crate::KernelId::Schur, || {
             let n_rest = a22.cols();
             let ranges = split_ranges(n_rest, size);
-            let my_range = ranges.get(rank).cloned().unwrap_or(0..0);
+            let my_range = owned_range(&ranges, rank);
             let my_part = schur_update_cols(&a22, &x_rows, &xt, &a12, my_range);
             let parts: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = ctx.allgather(my_part);
             let mut colptr = Vec::with_capacity(n_rest + 1);
@@ -421,7 +1319,7 @@ fn drive_spmd(
         // the local sum trivial, but the reduction is still exercised).
         indicator = timers.time(crate::KernelId::Indicator, || {
             let ranges = split_ranges(s_next.cols(), size);
-            let my_range = ranges.get(rank).cloned().unwrap_or(0..0);
+            let my_range = owned_range(&ranges, rank);
             let mut local = 0.0f64;
             for j in my_range {
                 let (_, vs) = s_next.col(j);
@@ -454,8 +1352,10 @@ fn drive_spmd(
             break;
         }
 
-        // ILUT_CRTP lines 5, 8-10 (replicated: all ranks hold identical
-        // Schur complements, so identical drops need no communication).
+        // ILUT_CRTP lines 5, 8-10: per-rank dropped-mass partials over
+        // the same column partition the sharded driver owns, combined
+        // through the same allreduce tree — the oracle stays bitwise
+        // aligned with the sharded thresholding decisions.
         if let Some(state) = ilut.as_mut() {
             if iterations == 1 {
                 state.mu = opts.tau * r11
@@ -465,14 +1365,21 @@ fn drive_spmd(
             if state.mu > 0.0 {
                 timers.time(crate::KernelId::Drop, || match state.cfg.strategy {
                     DropStrategy::Fixed => {
-                        let (dropped_mat, mass, count) = s_next.drop_below(state.mu);
+                        let ranges = split_ranges(s_next.cols(), size);
+                        let my_range = owned_range(&ranges, rank);
+                        let (my_mass, my_count) =
+                            s_next.dropped_mass_in_cols(state.mu, my_range);
+                        let (mass, count) = ctx
+                            .allreduce((my_mass, my_count as u64), |x, y| {
+                                (x.0 + y.0, x.1 + y.1)
+                            });
                         if (state.mass_sq + mass).sqrt() >= state.phi {
                             state.control_triggered = true;
                             state.mu = 0.0;
                         } else {
                             state.mass_sq += mass;
-                            state.dropped += count;
-                            s_next = dropped_mat;
+                            state.dropped += count as usize;
+                            s_next = s_next.drop_below(state.mu).0;
                         }
                     }
                     DropStrategy::Aggressive => {
@@ -490,11 +1397,18 @@ fn drive_spmd(
                             }
                             if cutoff > 0.0 {
                                 let thr = cutoff * (1.0 + 1e-15) + f64::MIN_POSITIVE;
-                                let (dropped_mat, mass, count) = s_next.drop_below(thr);
+                                let ranges = split_ranges(s_next.cols(), size);
+                                let my_range = owned_range(&ranges, rank);
+                                let (my_mass, my_count) =
+                                    s_next.dropped_mass_in_cols(thr, my_range);
+                                let (mass, count) = ctx
+                                    .allreduce((my_mass, my_count as u64), |x, y| {
+                                        (x.0 + y.0, x.1 + y.1)
+                                    });
                                 if (state.mass_sq + mass).sqrt() < state.phi {
                                     state.mass_sq += mass;
-                                    state.dropped += count;
-                                    s_next = dropped_mat;
+                                    state.dropped += count as usize;
+                                    s_next = s_next.drop_below(thr).0;
                                 }
                             }
                         }
@@ -546,14 +1460,14 @@ fn drive_spmd(
     }
 
     let l = {
-        let mut b = lra_sparse::SparseBuilder::new(m, l_cols.len());
+        let mut b = SparseBuilder::new(m, l_cols.len());
         for col in &l_cols {
             b.push_col(col);
         }
         b.finish()
     };
     let u = {
-        let mut b = lra_sparse::SparseBuilder::new(n, ut_cols.len());
+        let mut b = SparseBuilder::new(n, ut_cols.len());
         for col in &ut_cols {
             b.push_col(col);
         }
@@ -573,13 +1487,8 @@ fn drive_spmd(
         r11,
         trace,
         timers,
-        threshold: ilut.map(|st| ThresholdReport {
-            mu: st.mu,
-            phi: st.phi,
-            dropped: st.dropped,
-            dropped_mass_sq: st.mass_sq,
-            control_triggered: st.control_triggered,
-        }),
+        threshold: ilut.map(|st| st.report()),
+        mem: None,
     }
 }
 
@@ -610,4 +1519,3 @@ pub fn lu_crtp_dist_checked(
     validate_matrix(a)?;
     Ok(lra_comm::run_with(np, config, |ctx| lu_crtp_spmd(ctx, a, opts)).results)
 }
-

@@ -93,6 +93,16 @@ pub fn split_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// The range owned by `rank` in a [`split_ranges`] partition, or the
+/// empty range when the rank has no share (`n < parts` leaves the high
+/// ranks without one). This is the SPMD ownership lookup: every rank
+/// calls it with the same `ranges` and its own id, and ranks beyond
+/// `ranges.len()` simply own nothing while still participating in
+/// collectives.
+pub fn owned_range(ranges: &[Range<usize>], rank: usize) -> Range<usize> {
+    ranges.get(rank).cloned().unwrap_or(0..0)
+}
+
 /// Run `body` over every index chunk of `0..n`, using up to `par.np()`
 /// workers. Chunks have length `grain` (the final chunk may be shorter)
 /// and are claimed dynamically from a shared counter, so irregular
@@ -350,6 +360,25 @@ mod tests {
                     let max = lens.iter().max().unwrap();
                     assert!(max - min <= 1);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn owned_range_covers_and_defaults_empty() {
+        for n in [0usize, 1, 5, 17] {
+            for parts in [1usize, 2, 4, 9] {
+                let ranges = split_ranges(n, parts);
+                // In-partition ranks get their exact range...
+                for (rank, r) in ranges.iter().enumerate() {
+                    assert_eq!(owned_range(&ranges, rank), *r);
+                }
+                // ...ranks past the partition own nothing.
+                for rank in ranges.len()..parts + 2 {
+                    assert_eq!(owned_range(&ranges, rank), 0..0);
+                }
+                let total: usize = (0..parts).map(|r| owned_range(&ranges, r).len()).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
             }
         }
     }

@@ -8,14 +8,18 @@
 //!   `lra-par` workers (flat or binary tree);
 //! - [`tournament_columns_spmd`]: rank-distributed over the `lra-comm`
 //!   SPMD runtime, mirroring the paper's MPI reduction tree with its
-//!   communication-free local stage and `log2(P)` global stage.
+//!   communication-free local stage and `log2(P)` global stage;
+//! - [`tournament_columns_spmd_sharded`]: like the SPMD driver, but
+//!   over a *distributed* matrix — each rank holds only its own
+//!   block-column `ColSlice`, and winner columns travel with their ids
+//!   as compact panels (bitwise-identical selections).
 
 mod source;
 mod spmd;
 mod tournament;
 
 pub use source::ColumnSource;
-pub use spmd::tournament_columns_spmd;
+pub use spmd::{tournament_columns_spmd, tournament_columns_spmd_sharded};
 pub use tournament::{
     panel_r, panel_r_gram, tournament_columns, tournament_rows_dense, ColumnSelection,
     TournamentTree,

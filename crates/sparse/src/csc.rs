@@ -358,6 +358,27 @@ impl CscMatrix {
         )
     }
 
+    /// Dropped squared mass and count that [`CscMatrix::drop_below`]
+    /// would record over columns `range` only, accumulated in storage
+    /// order. This is the per-rank partial the distributed ILUT drivers
+    /// combine over a fixed reduction tree: the block-column shard of
+    /// `range` accumulates exactly these terms in exactly this order,
+    /// so replicated and sharded drivers produce bitwise-identical
+    /// partials.
+    pub fn dropped_mass_in_cols(&self, threshold: f64, range: std::ops::Range<usize>) -> (f64, usize) {
+        let lo = self.colptr[range.start];
+        let hi = self.colptr[range.end];
+        let mut dropped_sq = 0.0;
+        let mut dropped = 0usize;
+        for &v in &self.values[lo..hi] {
+            if v.abs() < threshold {
+                dropped_sq += v * v;
+                dropped += 1;
+            }
+        }
+        (dropped_sq, dropped)
+    }
+
     /// Sorted magnitudes of all entries below `cap` (ascending). Powers
     /// the "aggressive" sorted-drop thresholding variant of Section VI-A.
     pub fn small_entry_magnitudes(&self, cap: f64) -> Vec<f64> {

@@ -16,11 +16,13 @@
 mod coo;
 mod csc;
 mod csr;
+mod dist;
 mod io;
 mod ops;
 
 pub use coo::CooMatrix;
 pub use csc::{CscMatrix, SparseBuilder};
+pub use dist::{gather_csc, scatter_csc, ColSlice};
 pub use csr::CsrMatrix;
 pub use io::{
     read_matrix_market, read_matrix_market_file, write_matrix_market, write_matrix_market_file,

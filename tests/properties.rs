@@ -250,6 +250,85 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Sharded column storage (ColSlice) must agree with the full matrix:
+    // the SPMD drivers rely on these identities for their bitwise
+    // sharded-vs-replicated equivalence.
+
+    #[test]
+    fn col_slice_scatter_gather_roundtrip(a in sparse_mat(20), parts in 1usize..6) {
+        let ranges = lra::par::split_ranges(a.cols(), parts);
+        let shards = lra::sparse::scatter_csc(&a, &ranges);
+        let back = lra::sparse::gather_csc(&shards);
+        prop_assert_eq!(back.rows(), a.rows());
+        prop_assert_eq!(back.cols(), a.cols());
+        prop_assert_eq!(back.colptr(), a.colptr());
+        prop_assert_eq!(back.rowidx(), a.rowidx());
+        let b = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(b(back.values()), b(a.values()));
+    }
+
+    #[test]
+    fn col_slice_ops_agree_with_full_matrix(a in sparse_mat(20), parts in 1usize..6, thr in 0.0f64..3.0) {
+        let ranges = lra::par::split_ranges(a.cols(), parts);
+        let slices: Vec<_> = ranges
+            .iter()
+            .map(|r| lra::sparse::ColSlice::from_full(&a, r.clone()))
+            .collect();
+
+        // Per-shard squared column norms sum to the full Frobenius norm.
+        let partial: f64 = slices.iter().map(|s| s.fro_norm_sq_cols()).sum();
+        prop_assert!((partial - a.fro_norm_sq()).abs() <= 1e-12 * (1.0 + a.fro_norm_sq()));
+
+        // drop_below partials are bitwise the full-matrix range partials,
+        // and the gathered kept shards are exactly the full kept matrix.
+        let (full_kept, _, _) = a.drop_below(thr);
+        let mut kept_parts = Vec::new();
+        for (s, r) in slices.iter().zip(&ranges) {
+            let (kept, mass, count) = s.drop_below(thr);
+            let (mass_full, count_full) = a.dropped_mass_in_cols(thr, r.clone());
+            prop_assert_eq!(mass.to_bits(), mass_full.to_bits());
+            prop_assert_eq!(count, count_full);
+            prop_assert_eq!(kept.offset(), r.start);
+            kept_parts.push(kept.into_local());
+        }
+        let kept_gathered = lra::sparse::gather_csc(&kept_parts);
+        prop_assert_eq!(kept_gathered.colptr(), full_kept.colptr());
+        prop_assert_eq!(kept_gathered.rowidx(), full_kept.rowidx());
+        let b = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(b(kept_gathered.values()), b(full_kept.values()));
+
+        // Concatenated per-shard small-entry magnitudes sort to the same
+        // sequence as the full matrix's (the Aggressive-drop identity).
+        let cap = thr + 1.0;
+        let mut sharded_small: Vec<f64> = slices
+            .iter()
+            .flat_map(|s| s.small_entry_magnitudes(cap))
+            .collect();
+        let mut full_small = a.small_entry_magnitudes(cap);
+        sharded_small.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        full_small.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        prop_assert_eq!(b(&sharded_small), b(&full_small));
+    }
+
+    #[test]
+    fn col_slice_extract_matches_select(a in sparse_mat(20), parts in 1usize..6) {
+        let ranges = lra::par::split_ranges(a.cols(), parts);
+        for r in &ranges {
+            let s = lra::sparse::ColSlice::from_full(&a, r.clone());
+            let idx: Vec<usize> = r.clone().collect();
+            let sub = s.extract_columns(&idx);
+            let full_sub = a.select_columns(&idx);
+            prop_assert_eq!(sub.colptr(), full_sub.colptr());
+            prop_assert_eq!(sub.rowidx(), full_sub.rowidx());
+            let b = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(b(sub.values()), b(full_sub.values()));
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     // Heavier end-to-end properties with fewer cases.

@@ -145,6 +145,73 @@ fn resume_from_checkpoint_is_bitwise_identical_to_uninterrupted_run() {
     }
 }
 
+/// Shrink-and-resume redistributes the shards: a sharded SPMD run on
+/// `np = 3` is killed mid-factorization, then resumed on `np = 2`.
+/// The checkpoint stores the full Schur complement (gathered from the
+/// per-rank shard envelopes at a collective boundary), and on restore
+/// each rank of the *smaller* grid re-slices its own block-column
+/// shard — so the resume must complete, meet the fixed-precision
+/// bound, and be fully deterministic (two identical resumes agree
+/// bitwise). An np=3-vs-np=2 bitwise match is impossible by design:
+/// the tournament partition, and therefore the pivots, depend on the
+/// rank count.
+#[test]
+fn shrink_resume_redistributes_shards_across_fewer_ranks() {
+    let a = lra::matgen::with_decay(&lra::matgen::fem2d(8, 6, 11), 1e-6, 3);
+    let opts = IlutOpts::new(4, 1e-3, 8);
+
+    // Interrupted np=3 run: rank 1 dies at iteration 3. The iteration-1
+    // snapshot is guaranteed persisted (rank 0 only enters iteration 2's
+    // synchronizing collectives after writing it); the iteration-2
+    // snapshot is racy by design — the sharded checkpoint is itself a
+    // gatherv collective, and the dying rank's poison can reach rank 0
+    // while it is still gathering the shard envelopes.
+    let store = CheckpointStore::in_memory();
+    let hooks = RecoveryHooks::new(&store, 1);
+    let cfg = RunConfig::default()
+        .with_watchdog(Duration::from_secs(20))
+        .with_faults(FaultPlan::new().kill_rank_at_iteration(1, 3));
+    let broken = lra::comm::run_with(3, &cfg, |ctx| {
+        ilut_crtp_spmd_checkpointed(ctx, &a, &opts, Some(&hooks))
+    });
+    assert!(!broken.all_ok(), "the kill must actually interrupt the run");
+    assert!(store.saves() >= 1, "at least the iteration-1 snapshot expected");
+
+    // Resume twice on the shrunk grid from the np=3-written snapshot.
+    let resume = || {
+        let out = lra::comm::run_with(2, &RunConfig::default(), |ctx| {
+            ilut_crtp_spmd_checkpointed(ctx, &a, &opts, Some(&hooks))
+        });
+        out.results.into_iter().next().unwrap().unwrap()
+    };
+    let first = resume();
+    let second = resume();
+
+    assert!(first.converged, "{:?}", first.breakdown);
+    let dropped = first
+        .threshold
+        .as_ref()
+        .map(|t| t.dropped_mass_sq.sqrt())
+        .unwrap_or(0.0);
+    let exact = first.exact_error(&a, Parallelism::SEQ);
+    assert!(
+        exact <= (opts.base.tau * first.a_norm_f + dropped) * 1.000001,
+        "fixed-precision bound violated after shrink-resume: {exact:e}"
+    );
+
+    // Determinism of the redistributed resume.
+    assert_eq!(second.rank, first.rank);
+    assert_eq!(second.iterations, first.iterations);
+    assert_eq!(second.pivot_rows, first.pivot_rows);
+    assert_eq!(second.pivot_cols, first.pivot_cols);
+    assert_eq!(second.indicator.to_bits(), first.indicator.to_bits());
+    for (got, want) in [(&second.l, &first.l), (&second.u, &first.u)] {
+        assert_eq!(got.colptr(), want.colptr());
+        assert_eq!(got.rowidx(), want.rowidx());
+        assert!(bits_eq(got.values(), want.values()));
+    }
+}
+
 /// Same property for RandQB_EI, whose resume additionally has to replay
 /// the RNG draw count to keep the sketch stream aligned.
 #[test]
