@@ -904,23 +904,9 @@ fn schur_update(
 ) -> CscMatrix {
     let m = a22.rows();
     let n = a22.cols();
-    let k = xt.rows();
     debug_assert_eq!(a12.cols(), n);
-    debug_assert_eq!(a12.rows(), k);
-    type Partial = (Vec<usize>, Vec<usize>, Vec<f64>);
-    let (lens, rowidx, values) = parallel_map_fold(
-        par,
-        n,
-        32,
-        (Vec::new(), Vec::new(), Vec::new()),
-        |range| -> Partial { schur_update_cols(a22, x_rows, xt, a12, range) },
-        |mut acc, part| {
-            acc.0.extend(part.0);
-            acc.1.extend(part.1);
-            acc.2.extend(part.2);
-            acc
-        },
-    );
+    debug_assert_eq!(a12.rows(), xt.rows());
+    let (lens, rowidx, values) = schur_update_ranged(a22, x_rows, xt, a12, 0..n, par);
     let mut colptr = Vec::with_capacity(n + 1);
     colptr.push(0);
     let mut run = 0;
@@ -929,6 +915,43 @@ fn schur_update(
         colptr.push(run);
     }
     CscMatrix::from_parts(m, n, colptr, rowidx, values)
+}
+
+/// Chunk width (output columns) of the parallel Schur update.
+pub(crate) const SCHUR_GRAIN: usize = 32;
+
+/// The one parallel Schur-update helper shared by the sequential
+/// driver, the sharded SPMD driver, and the replicated oracle: runs
+/// [`schur_update_cols`] over `range` in fixed [`SCHUR_GRAIN`]-wide
+/// chunks and concatenates the per-chunk `(lens, rows, vals)` partials
+/// in ascending chunk order. Columns are computed independently, so
+/// the concatenation is bitwise-identical to one sequential pass over
+/// `range` for any worker count — which is what keeps the sharded and
+/// replicated drivers bit-for-bit aligned while both go parallel
+/// within a rank.
+pub(crate) fn schur_update_ranged(
+    a22: &CscMatrix,
+    x_rows: &[usize],
+    xt: &DenseMatrix,
+    a12: &CscMatrix,
+    range: std::ops::Range<usize>,
+    par: Parallelism,
+) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    type Partial = (Vec<usize>, Vec<usize>, Vec<f64>);
+    let lo = range.start;
+    parallel_map_fold(
+        par,
+        range.len(),
+        SCHUR_GRAIN,
+        (Vec::new(), Vec::new(), Vec::new()),
+        |r| -> Partial { schur_update_cols(a22, x_rows, xt, a12, lo + r.start..lo + r.end) },
+        |mut acc, part| {
+            acc.0.extend(part.0);
+            acc.1.extend(part.1);
+            acc.2.extend(part.2);
+            acc
+        },
+    )
 }
 
 /// Schur-complement kernel for a contiguous column range: returns the

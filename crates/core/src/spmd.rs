@@ -35,7 +35,7 @@
 //! tests compare against.
 
 use crate::lucrtp::{
-    schur_update_cols, validate_matrix, Breakdown, DropStrategy, IlutOpts, InvalidInput,
+    schur_update_ranged, validate_matrix, Breakdown, DropStrategy, IlutOpts, InvalidInput,
     IterTrace, LuCrtpOpts, LuCrtpResult, MemStats, ThresholdReport,
 };
 use crate::timers::KernelTimers;
@@ -51,7 +51,11 @@ use std::ops::Range;
 
 /// SPMD LU_CRTP: every rank calls this with the same `a` and `opts`
 /// inside an [`lra_comm::run`] region; every rank returns the same
-/// result. `opts.par` is ignored (parallelism comes from the ranks).
+/// result. `opts.par` drives the intra-rank thread parallelism of the
+/// Schur update and the ILUT threshold pass (the default `SEQ` keeps
+/// each rank single-threaded); results are bitwise-independent of the
+/// worker count because every parallel kernel folds fixed-chunk
+/// partials in ascending chunk order.
 /// Each rank keeps only its owned block-column shard of the Schur
 /// complement resident (see the module docs); the result's `mem`
 /// field reports the peak per-rank shard storage.
@@ -212,18 +216,22 @@ struct SpmdPanelCtx<'a> {
     shard: ColSlice,
     /// Global column count of the (virtual) Schur complement.
     n_cur: usize,
+    /// Intra-rank worker count for the owned-range kernels (Schur
+    /// update, threshold pass) — `opts.par`.
+    par: Parallelism,
     peak_bytes: usize,
     peak_nnz: usize,
 }
 
 impl<'a> SpmdPanelCtx<'a> {
-    fn new(ctx: &'a Ctx, shard: ColSlice, n_cur: usize) -> Self {
+    fn new(ctx: &'a Ctx, shard: ColSlice, n_cur: usize, par: Parallelism) -> Self {
         let mut eng = SpmdPanelCtx {
             ctx,
             rank: ctx.rank(),
             size: ctx.size(),
             shard,
             n_cur,
+            par,
             peak_bytes: 0,
             peak_nnz: 0,
         };
@@ -234,10 +242,10 @@ impl<'a> SpmdPanelCtx<'a> {
     /// Slice this rank's shard out of a full (e.g. checkpointed)
     /// Schur complement under the *current* rank count — resuming a
     /// snapshot written by a larger grid redistributes implicitly.
-    fn from_full(ctx: &'a Ctx, s: &CscMatrix) -> Self {
+    fn from_full(ctx: &'a Ctx, s: &CscMatrix, par: Parallelism) -> Self {
         let ranges = split_ranges(s.cols(), ctx.size());
         let my = owned_range(&ranges, ctx.rank());
-        Self::new(ctx, ColSlice::from_full(s, my), s.cols())
+        Self::new(ctx, ColSlice::from_full(s, my), s.cols(), par)
     }
 
     fn note_mem(&mut self) {
@@ -485,7 +493,7 @@ impl<'a> SpmdPanelCtx<'a> {
         let my_new = owned_range(&new_ranges, self.rank);
         debug_assert_eq!(a22_own.cols(), my_new.len());
         let (lens, rows_out, vals_out) =
-            schur_update_cols(&a22_own, x_rows, xt, &a12_own, 0..a22_own.cols());
+            schur_update_ranged(&a22_own, x_rows, xt, &a12_own, 0..a22_own.cols(), self.par);
         let mut colptr = Vec::with_capacity(lens.len() + 1);
         colptr.push(0);
         let mut run = 0usize;
@@ -543,13 +551,17 @@ impl<'a> SpmdPanelCtx<'a> {
     }
 
     /// ILUT_CRTP lines 5, 8-10 over the distributed Schur complement:
-    /// each rank drops within its shard; dropped-mass partials combine
-    /// through the same allreduce tree on every rank, so the control
-    /// decision (eq. 22) is replicated bit for bit.
+    /// each rank runs the threshold pass over its owned shard in
+    /// parallel fixed-width column chunks (per-chunk partials folded in
+    /// ascending chunk order, then per-rank partials combined through
+    /// the same allreduce tree on every rank), so the control decision
+    /// (eq. 22) is replicated bit for bit and matches the replicated
+    /// oracle's [`CscMatrix::dropped_mass_in_cols_par`] partials.
     fn ilut_drop(&mut self, state: &mut SpmdIlutState) {
         match state.cfg.strategy {
             DropStrategy::Fixed => {
-                let (dropped_shard, my_mass, my_count) = self.shard.drop_below(state.mu);
+                let (dropped_shard, my_mass, my_count) =
+                    self.shard.drop_below_par(state.mu, self.par);
                 let (mass, count) = self
                     .ctx
                     .allreduce((my_mass, my_count as u64), |x, y| (x.0 + y.0, x.1 + y.1));
@@ -585,7 +597,8 @@ impl<'a> SpmdPanelCtx<'a> {
                 }
                 if cutoff > 0.0 {
                     let thr = cutoff * (1.0 + 1e-15) + f64::MIN_POSITIVE;
-                    let (dropped_shard, my_mass, my_count) = self.shard.drop_below(thr);
+                    let (dropped_shard, my_mass, my_count) =
+                        self.shard.drop_below_par(thr, self.par);
                     let (mass, count) = self
                         .ctx
                         .allreduce((my_mass, my_count as u64), |x, y| (x.0 + y.0, x.1 + y.1));
@@ -745,7 +758,7 @@ fn drive_spmd_sharded(
             st.dropped = ick.dropped;
             st.control_triggered = ick.control_triggered;
         }
-        eng = SpmdPanelCtx::from_full(ctx, &ck.s);
+        eng = SpmdPanelCtx::from_full(ctx, &ck.s, opts.par);
     } else {
         // Preprocessing on rank 0, broadcast (COLAMD is intrinsically
         // sequential — "we apply COLAMD as a preprocessing step").
@@ -765,7 +778,7 @@ fn drive_spmd_sharded(
         let ranges = split_ranges(n, size);
         let my = owned_range(&ranges, rank);
         let local = a.select_columns(&initial_cols[my.clone()]);
-        eng = SpmdPanelCtx::new(ctx, ColSlice::new(my.start, local), n);
+        eng = SpmdPanelCtx::new(ctx, ColSlice::new(my.start, local), n, opts.par);
         row_map = (0..m).collect();
         col_map = initial_cols;
     }
@@ -1260,7 +1273,7 @@ fn drive_spmd_replicated(
             let n_rest = a22.cols();
             let ranges = split_ranges(n_rest, size);
             let my_range = owned_range(&ranges, rank);
-            let my_part = schur_update_cols(&a22, &x_rows, &xt, &a12, my_range);
+            let my_part = schur_update_ranged(&a22, &x_rows, &xt, &a12, my_range, opts.par);
             let parts: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = ctx.allgather(my_part);
             let mut colptr = Vec::with_capacity(n_rest + 1);
             colptr.push(0);
@@ -1368,7 +1381,7 @@ fn drive_spmd_replicated(
                         let ranges = split_ranges(s_next.cols(), size);
                         let my_range = owned_range(&ranges, rank);
                         let (my_mass, my_count) =
-                            s_next.dropped_mass_in_cols(state.mu, my_range);
+                            s_next.dropped_mass_in_cols_par(state.mu, my_range, opts.par);
                         let (mass, count) = ctx
                             .allreduce((my_mass, my_count as u64), |x, y| {
                                 (x.0 + y.0, x.1 + y.1)
@@ -1400,7 +1413,7 @@ fn drive_spmd_replicated(
                                 let ranges = split_ranges(s_next.cols(), size);
                                 let my_range = owned_range(&ranges, rank);
                                 let (my_mass, my_count) =
-                                    s_next.dropped_mass_in_cols(thr, my_range);
+                                    s_next.dropped_mass_in_cols_par(thr, my_range, opts.par);
                                 let (mass, count) = ctx
                                     .allreduce((my_mass, my_count as u64), |x, y| {
                                         (x.0 + y.0, x.1 + y.1)

@@ -4,6 +4,18 @@
 //! relied on by the split/merge kernels of LU_CRTP.
 
 use lra_dense::DenseMatrix;
+use lra_par::{parallel_map_fold, Parallelism};
+
+/// Fixed chunk width (in columns) of the parallel threshold pass
+/// ([`CscMatrix::drop_below_par`] / [`CscMatrix::dropped_mass_in_cols_par`]).
+///
+/// The chunk partition depends only on the column-range length and this
+/// constant — never on the worker count — so the floating-point
+/// grouping of the dropped-mass partial is deterministic, and two scans
+/// over identical column contents (a shard's local columns vs the same
+/// global column range of a replicated matrix) fold bitwise-identical
+/// partials.
+pub const DROP_CHUNK_COLS: usize = 64;
 
 /// Compressed sparse column matrix of `f64`.
 #[derive(Clone, Debug, PartialEq)]
@@ -377,6 +389,107 @@ impl CscMatrix {
             }
         }
         (dropped_sq, dropped)
+    }
+
+    /// Parallel [`CscMatrix::drop_below`]: the threshold pass runs over
+    /// fixed [`DROP_CHUNK_COLS`]-wide column chunks, and the per-chunk
+    /// `(kept structure, dropped mass, dropped count)` partials fold in
+    /// ascending chunk order. The kept structure is a pure filter, so
+    /// it is identical to the sequential result; the dropped mass is
+    /// grouped per chunk, which is deterministic for a given column
+    /// count regardless of the worker count and matches
+    /// [`CscMatrix::dropped_mass_in_cols_par`] over the same columns.
+    pub fn drop_below_par(&self, threshold: f64, par: Parallelism) -> (CscMatrix, f64, usize) {
+        type Partial = (Vec<usize>, Vec<usize>, Vec<f64>, f64, usize);
+        let n = self.cols;
+        let (lens, rowidx, values, dropped_sq, dropped) = parallel_map_fold(
+            par,
+            n,
+            DROP_CHUNK_COLS,
+            (Vec::new(), Vec::new(), Vec::new(), 0.0, 0usize),
+            |range| -> Partial {
+                let mut lens = Vec::with_capacity(range.len());
+                let mut rows = Vec::new();
+                let mut vals = Vec::new();
+                let mut mass = 0.0f64;
+                let mut count = 0usize;
+                for j in range {
+                    let (ri, vs) = self.col(j);
+                    let before = rows.len();
+                    for (&r, &v) in ri.iter().zip(vs) {
+                        if v.abs() < threshold {
+                            mass += v * v;
+                            count += 1;
+                        } else {
+                            rows.push(r);
+                            vals.push(v);
+                        }
+                    }
+                    lens.push(rows.len() - before);
+                }
+                (lens, rows, vals, mass, count)
+            },
+            |mut acc, part| {
+                acc.0.extend(part.0);
+                acc.1.extend(part.1);
+                acc.2.extend(part.2);
+                acc.3 += part.3;
+                acc.4 += part.4;
+                acc
+            },
+        );
+        let mut colptr = Vec::with_capacity(n + 1);
+        colptr.push(0);
+        let mut run = 0usize;
+        for l in lens {
+            run += l;
+            colptr.push(run);
+        }
+        (
+            CscMatrix {
+                rows: self.rows,
+                cols: n,
+                colptr,
+                rowidx,
+                values,
+            },
+            dropped_sq,
+            dropped,
+        )
+    }
+
+    /// Parallel [`CscMatrix::dropped_mass_in_cols`]: per-chunk partials
+    /// over fixed [`DROP_CHUNK_COLS`]-wide chunks of `range`, folded in
+    /// ascending chunk order — the exact chunk partition (relative to
+    /// `range.start`) and therefore the exact floating-point grouping
+    /// that [`CscMatrix::drop_below_par`] uses over the same columns.
+    pub fn dropped_mass_in_cols_par(
+        &self,
+        threshold: f64,
+        range: std::ops::Range<usize>,
+        par: Parallelism,
+    ) -> (f64, usize) {
+        let lo = range.start;
+        parallel_map_fold(
+            par,
+            range.len(),
+            DROP_CHUNK_COLS,
+            (0.0f64, 0usize),
+            |r| {
+                let p0 = self.colptr[lo + r.start];
+                let p1 = self.colptr[lo + r.end];
+                let mut mass = 0.0f64;
+                let mut count = 0usize;
+                for &v in &self.values[p0..p1] {
+                    if v.abs() < threshold {
+                        mass += v * v;
+                        count += 1;
+                    }
+                }
+                (mass, count)
+            },
+            |acc, part| (acc.0 + part.0, acc.1 + part.1),
+        )
     }
 
     /// Sorted magnitudes of all entries below `cap` (ascending). Powers

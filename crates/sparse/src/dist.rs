@@ -180,6 +180,29 @@ impl ColSlice {
         )
     }
 
+    /// Parallel variant of [`ColSlice::drop_below`]: delegates to
+    /// [`CscMatrix::drop_below_par`], so the threshold pass runs over
+    /// fixed-width column chunks of the shard and the dropped-mass
+    /// partial is grouped exactly like
+    /// [`CscMatrix::dropped_mass_in_cols_par`] over this shard's column
+    /// range on the full matrix — the bitwise contract the replicated
+    /// oracle driver relies on.
+    pub fn drop_below_par(
+        &self,
+        threshold: f64,
+        par: lra_par::Parallelism,
+    ) -> (ColSlice, f64, usize) {
+        let (m, mass, count) = self.local.drop_below_par(threshold, par);
+        (
+            ColSlice {
+                offset: self.offset,
+                local: m,
+            },
+            mass,
+            count,
+        )
+    }
+
     /// Slice-local [`CscMatrix::small_entry_magnitudes`] (sorted
     /// ascending within the shard).
     pub fn small_entry_magnitudes(&self, cap: f64) -> Vec<f64> {
