@@ -6,30 +6,450 @@
 //! `Q_K (B_K Omega)` style corrections). All parallelize over output
 //! columns through `lra-par`, which is efficient because every variant
 //! writes whole output columns contiguously.
+//!
+//! # Blocked micro-kernels and the bitwise-summation contract
+//!
+//! The public kernels are cache-blocked and register-tiled: output
+//! columns are processed in [`NR`]-wide tiles and output rows in
+//! [`MR`]-tall blocks, with the `MR x NR` accumulator tile held in
+//! registers across the whole inner-dimension sweep. Only the i/j
+//! *output* dimensions are tiled — the k-accumulation of every output
+//! element runs in the exact order of the naive reference
+//! ([`matmul_naive`] and friends), including the skip of exactly-zero
+//! `B` entries, so the blocked kernels are **bitwise identical** to the
+//! naive loops for every shape and worker count. That contract is what
+//! lets the SPMD drivers keep their sharded-vs-replicated bitwise
+//! oracle while the kernels go fast; it is pinned by a property test in
+//! `tests/blocked_kernels.rs`.
 
 use crate::DenseMatrix;
 use lra_par::{parallel_for, Parallelism};
 
-/// Grain size (output columns per task) for parallel GEMM loops.
-const COL_GRAIN: usize = 2;
+/// Register-tile height: output rows accumulated per tile (one cache
+/// line of `f64`, two 4-lane vector registers).
+const MR: usize = 8;
+/// Register-tile width: output columns sharing each loaded `A` block.
+const NR: usize = 4;
+/// Grain size (output columns per task) for parallel GEMM loops — a
+/// multiple of [`NR`] so full-width tiles form inside every task.
+const COL_GRAIN: usize = 8;
 
 /// `C = A * B`.
 pub fn matmul(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
     assert_eq!(a.cols(), b.rows(), "matmul: inner dimension mismatch");
     let m = a.rows();
     let n = b.cols();
+    let mut c = DenseMatrix::zeros(m, n);
+    gemm_blocked::<false>(&mut c, a, par, |j, buf| buf.copy_from_slice(b.col(j)));
+    c
+}
+
+/// `C = A * B^T`.
+pub fn matmul_nt(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dimension mismatch");
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = DenseMatrix::zeros(m, n);
+    // B^T column j is row j of B — gather it once per output column
+    // (O(k) against the O(m k) tile work it feeds).
+    gemm_blocked::<false>(&mut c, a, par, |j, buf| {
+        for (l, slot) in buf.iter_mut().enumerate() {
+            *slot = b.get(j, l);
+        }
+    });
+    c
+}
+
+/// `C -= A * B` in place (used for `A Omega - Q (B Omega)` updates).
+pub fn matmul_sub_assign(c: &mut DenseMatrix, a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) {
+    assert_eq!(a.cols(), b.rows());
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.cols());
+    gemm_blocked::<true>(c, a, par, |j, buf| buf.copy_from_slice(b.col(j)));
+}
+
+/// `true` when the CPU supports 4-lane AVX2 doubles at runtime (the
+/// crate is still compiled for the baseline target; the wide copies of
+/// the tile kernels are opt-in per call).
+#[inline]
+fn have_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Shared blocked driver for the `C (-)= A * B'` family: `fill_b`
+/// materializes column `j` of the effective right-hand factor into a
+/// task-local panel buffer (a contiguous copy for `matmul` /
+/// `matmul_sub_assign`, a row gather for `matmul_nt` — values are
+/// copied verbatim, so the arithmetic is untouched). `SUB` selects
+/// subtract-accumulate, which preloads the existing `C` tile so the
+/// update order matches the naive in-place loop.
+///
+/// `A` is first repacked into `MR`-tall row panels (`ap[p]` holds rows
+/// `p*MR..p*MR+MR` for every `l`, contiguous in `l`) so the tile's
+/// k-sweep reads a sequential stream instead of striding by `m`; ragged
+/// bottom panels are zero-padded, and the pad lanes are never written
+/// back. Repacking copies values verbatim — the arithmetic, and hence
+/// the bitwise contract, is untouched.
+fn gemm_blocked<const SUB: bool>(
+    c: &mut DenseMatrix,
+    a: &DenseMatrix,
+    par: Parallelism,
+    fill_b: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = a.cols();
+    if m == 0 || n == 0 || k == 0 {
+        // Nothing to accumulate: `C` stays zero-initialized (matmul
+        // variants) or untouched (sub-assign), exactly like the naive
+        // loops, whose bodies also never run.
+        return;
+    }
+    let avx2 = have_avx2();
+    let a_data = a.as_slice();
+    let n_panels = m.div_ceil(MR);
+    let mut ap = vec![0.0f64; n_panels * MR * k];
+    for l in 0..k {
+        let col = &a_data[l * m..(l + 1) * m];
+        for p in 0..n_panels {
+            let i0 = p * MR;
+            let iw = MR.min(m - i0);
+            let dst = p * MR * k + l * MR;
+            ap[dst..dst + iw].copy_from_slice(&col[i0..i0 + iw]);
+        }
+    }
+    let c_ptr = c.as_mut_slice().as_mut_ptr() as usize;
+    parallel_for(par, n, COL_GRAIN, |range| {
+        let mut col = vec![0.0f64; k];
+        let mut bt = vec![0.0f64; NR * k];
+        let mut j0 = range.start;
+        while j0 < range.end {
+            let jw = (range.end - j0).min(NR);
+            // Transpose the B tile to k x NR so the tile sweep reads
+            // one contiguous NR-row per `l` (values copied verbatim).
+            bt[..NR * k].fill(0.0);
+            for jj in 0..jw {
+                fill_b(j0 + jj, &mut col);
+                for (l, &v) in col.iter().enumerate() {
+                    bt[l * NR + jj] = v;
+                }
+            }
+            // SAFETY: this task owns output columns `range`, and the
+            // tile at j0 covers jw <= NR columns inside it.
+            unsafe {
+                match jw {
+                    4 => tile_dispatch::<4, SUB>(avx2, c_ptr as *mut f64, m, k, j0, &ap, &bt),
+                    3 => tile_dispatch::<3, SUB>(avx2, c_ptr as *mut f64, m, k, j0, &ap, &bt),
+                    2 => tile_dispatch::<2, SUB>(avx2, c_ptr as *mut f64, m, k, j0, &ap, &bt),
+                    _ => tile_dispatch::<1, SUB>(avx2, c_ptr as *mut f64, m, k, j0, &ap, &bt),
+                }
+            }
+            j0 += jw;
+        }
+    });
+}
+
+/// Route one tile to the AVX2-compiled copy of [`tile_n`] when the CPU
+/// has it, or the baseline copy otherwise. Both copies run the same
+/// Rust source; the AVX2 one only widens the lanes (the `fma` feature
+/// stays off so every lane rounds mul-then-add exactly like scalar —
+/// this is what keeps the fast path inside the bitwise contract).
+///
+/// # Safety
+/// Same contract as [`tile_n`].
+#[inline]
+unsafe fn tile_dispatch<const JW: usize, const SUB: bool>(
+    avx2: bool,
+    c_ptr: *mut f64,
+    m: usize,
+    k: usize,
+    j0: usize,
+    ap: &[f64],
+    bt: &[f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        return tile_n_avx2::<JW, SUB>(c_ptr, m, k, j0, ap, bt);
+    }
+    let _ = avx2;
+    tile_n::<JW, SUB>(c_ptr, m, k, j0, ap, bt)
+}
+
+/// AVX2-compiled copy of [`tile_n`]: the `#[inline(always)]` body is
+/// re-codegenned here with 4-wide vector mul/add.
+///
+/// # Safety
+/// Same contract as [`tile_n`]; additionally the CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tile_n_avx2<const JW: usize, const SUB: bool>(
+    c_ptr: *mut f64,
+    m: usize,
+    k: usize,
+    j0: usize,
+    ap: &[f64],
+    bt: &[f64],
+) {
+    tile_n::<JW, SUB>(c_ptr, m, k, j0, ap, bt)
+}
+
+/// One `JW`-column tile of the blocked `C (-)= A * B'` kernel: sweeps
+/// the row panels of the repacked `A` (see [`gemm_blocked`]), holding
+/// the `MR x JW` accumulator tile in registers while each output
+/// element accumulates over the *full* inner dimension in ascending
+/// order (the bitwise contract), with the per-`(l, j)` zero skip of the
+/// naive reference.
+///
+/// # Safety
+/// `c_ptr` must point to a column-major `m x >= j0+JW` buffer whose
+/// columns `j0..j0+JW` are exclusively owned by the caller; `ap` must
+/// hold `ceil(m/MR)` packed `MR x k` panels and `bt` a `k x NR`\n/// row-major B tile (columns past `JW` ignored).
+#[inline(always)]
+unsafe fn tile_n<const JW: usize, const SUB: bool>(
+    c_ptr: *mut f64,
+    m: usize,
+    k: usize,
+    j0: usize,
+    ap: &[f64],
+    bt: &[f64],
+) {
+    // One scan over the B tile decides, per tile, whether the branch-
+    // free all-nonzero sweep applies (the per-`(l, j)` zero skip of the
+    // naive reference only matters when a zero is actually present).
+    let mut tile_any_zero = false;
+    for bl in bt.chunks_exact(NR) {
+        for &blj in bl.iter().take(JW) {
+            tile_any_zero |= blj == 0.0;
+        }
+    }
+    for (p, panel) in ap.chunks_exact(MR * k).enumerate() {
+        let i0 = p * MR;
+        let iw = MR.min(m - i0);
+        // Pad lanes (iw..MR) stay zero end to end: zero-initialized
+        // here, fed zero-padded `A` values in the sweep, skipped on
+        // write-back.
+        let mut acc = [[0.0f64; MR]; JW];
+        if SUB {
+            for (jj, accj) in acc.iter_mut().enumerate() {
+                let cj = c_ptr.add((j0 + jj) * m + i0);
+                for (ii, slot) in accj.iter_mut().take(iw).enumerate() {
+                    *slot = *cj.add(ii);
+                }
+            }
+        }
+        if !tile_any_zero {
+            // Branch-free sweep: every `blj` is nonzero, so the naive
+            // kernel would never skip — the arithmetic is identical.
+            for (av, bl) in panel.chunks_exact(MR).zip(bt.chunks_exact(NR)) {
+                let av: &[f64; MR] = av.try_into().unwrap();
+                let bl: &[f64; NR] = bl.try_into().unwrap();
+                for (jj, accj) in acc.iter_mut().enumerate() {
+                    let blj = bl[jj];
+                    if SUB {
+                        for ii in 0..MR {
+                            accj[ii] -= blj * av[ii];
+                        }
+                    } else {
+                        for ii in 0..MR {
+                            accj[ii] += blj * av[ii];
+                        }
+                    }
+                }
+            }
+        } else {
+            // Zero-aware sweep preserving the naive kernel's exact
+            // per-`(l, j)` skip (needed bitwise: `x + 0.0*a` is not
+            // always `x`, e.g. for `-0.0` accumulators or non-finite
+            // `a` — including the zero-padded tail panel lanes).
+            for (av, bl) in panel.chunks_exact(MR).zip(bt.chunks_exact(NR)) {
+                let av: &[f64; MR] = av.try_into().unwrap();
+                let bl: &[f64; NR] = bl.try_into().unwrap();
+                for (jj, accj) in acc.iter_mut().enumerate() {
+                    let blj = bl[jj];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    if SUB {
+                        for ii in 0..MR {
+                            accj[ii] -= blj * av[ii];
+                        }
+                    } else {
+                        for ii in 0..MR {
+                            accj[ii] += blj * av[ii];
+                        }
+                    }
+                }
+            }
+        }
+        for (jj, accj) in acc.iter().enumerate() {
+            let cj = c_ptr.add((j0 + jj) * m + i0);
+            for (ii, &v) in accj.iter().take(iw).enumerate() {
+                *cj.add(ii) = v;
+            }
+        }
+    }
+}
+
+/// `C = A^T * B`.
+pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: inner dimension mismatch");
+    let m = a.cols();
+    let n = b.cols();
+    let inner = a.rows();
+    let avx2 = have_avx2();
+    let mut c = DenseMatrix::zeros(m, n);
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_ptr = c.as_mut_slice().as_mut_ptr() as usize;
+    parallel_for(par, n, COL_GRAIN, |range| {
+        // SAFETY: this task exclusively owns output columns `range`.
+        unsafe {
+            #[cfg(target_arch = "x86_64")]
+            if avx2 {
+                tn_range_avx2(c_ptr as *mut f64, m, inner, a_data, b_data, range);
+                return;
+            }
+            let _ = avx2;
+            tn_range(c_ptr as *mut f64, m, inner, a_data, b_data, range);
+        }
+    });
+    c
+}
+
+/// AVX2-compiled copy of [`tn_range`] (lanewise mul/add only — see
+/// [`tile_dispatch`] for why this stays bitwise-identical).
+///
+/// # Safety
+/// Same contract as [`tn_range`]; additionally the CPU must support AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn tn_range_avx2(
+    c_ptr: *mut f64,
+    m: usize,
+    inner: usize,
+    a_data: &[f64],
+    b_data: &[f64],
+    range: std::ops::Range<usize>,
+) {
+    tn_range(c_ptr, m, inner, a_data, b_data, range)
+}
+
+/// One task's worth of `C = A^T B` output columns.
+///
+/// # Safety
+/// `c_ptr` must point to a column-major `m x n` buffer whose columns
+/// `range` are exclusively owned by the caller, with `range.end <= n`.
+#[inline(always)]
+unsafe fn tn_range(
+    c_ptr: *mut f64,
+    m: usize,
+    inner: usize,
+    a_data: &[f64],
+    b_data: &[f64],
+    range: std::ops::Range<usize>,
+) {
+    {
+        let mut j0 = range.start;
+        while j0 < range.end {
+            let jw = (range.end - j0).min(NR);
+            let mut i0 = 0usize;
+            while i0 + NR <= m && jw == NR {
+                // Full 4x4 dot tile: 16 independent accumulation
+                // chains hide mul/add latency; each chain runs over the
+                // inner dimension in ascending order (bitwise contract).
+                let mut acc = [[0.0f64; NR]; NR];
+                let mut ac: [&[f64]; NR] = [&[]; NR];
+                let mut bc: [&[f64]; NR] = [&[]; NR];
+                for (t, (acs, bcs)) in ac.iter_mut().zip(bc.iter_mut()).enumerate() {
+                    *acs = &a_data[(i0 + t) * inner..(i0 + t + 1) * inner];
+                    *bcs = &b_data[(j0 + t) * inner..(j0 + t + 1) * inner];
+                }
+                for l in 0..inner {
+                    for (ii, accrow) in acc.iter_mut().enumerate() {
+                        let ail = ac[ii][l];
+                        for (jj, slot) in accrow.iter_mut().enumerate() {
+                            *slot += ail * bc[jj][l];
+                        }
+                    }
+                }
+                for jj in 0..NR {
+                    // SAFETY: this task owns output columns `range`.
+                    let cj = unsafe {
+                        std::slice::from_raw_parts_mut(c_ptr.add((j0 + jj) * m), m)
+                    };
+                    for (ii, accrow) in acc.iter().enumerate() {
+                        cj[i0 + ii] = accrow[jj];
+                    }
+                }
+                i0 += NR;
+            }
+            // Tails (i remainder, or tiles narrower than NR): plain
+            // dot products, same ascending-l order per element.
+            for jj in 0..jw {
+                // SAFETY: disjoint output columns within this task.
+                let cj = unsafe {
+                    std::slice::from_raw_parts_mut(c_ptr.add((j0 + jj) * m), m)
+                };
+                let bj = &b_data[(j0 + jj) * inner..(j0 + jj + 1) * inner];
+                for (i, ci) in cj.iter_mut().enumerate().skip(i0) {
+                    let ai = &a_data[i * inner..(i + 1) * inner];
+                    let mut dot = 0.0;
+                    for l in 0..inner {
+                        dot += ai[l] * bj[l];
+                    }
+                    *ci = dot;
+                }
+            }
+            j0 += jw;
+        }
+    }
+}
+
+/// `y = A * x` for a dense vector `x`.
+pub fn matvec(a: &DenseMatrix, x: &[f64]) -> Vec<f64> {
+    assert_eq!(a.cols(), x.len());
+    let mut y = vec![0.0; a.rows()];
+    for (l, &xl) in x.iter().enumerate() {
+        if xl == 0.0 {
+            continue;
+        }
+        for (yi, &ai) in y.iter_mut().zip(a.col(l)) {
+            *yi += xl * ai;
+        }
+    }
+    y
+}
+
+// ---------------------------------------------------------------------
+// Naive references. These are the semantic definition of the blocked
+// kernels above: same k-accumulation order per output element, same
+// zero skips. Kept callable so the bitwise property test and the
+// kernel benchmark can compare against them.
+// ---------------------------------------------------------------------
+
+/// Naive axpy-ordered `C = A * B` — the bitwise reference for
+/// [`matmul`]. Not part of the supported API surface.
+#[doc(hidden)]
+pub fn matmul_naive(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dimension mismatch");
+    let m = a.rows();
+    let n = b.cols();
     let k = a.cols();
     let mut c = DenseMatrix::zeros(m, n);
     let a_data = a.as_slice();
-    let c_cols: Vec<std::ops::Range<usize>> = (0..n).map(|j| j * m..(j + 1) * m).collect();
-    // Write into the raw buffer through disjoint column ranges.
     let c_ptr = c.as_mut_slice().as_mut_ptr() as usize;
     parallel_for(par, n, COL_GRAIN, |range| {
         for j in range {
             // SAFETY: each output column j is owned by exactly one task.
-            let cj = unsafe {
-                std::slice::from_raw_parts_mut((c_ptr as *mut f64).add(c_cols[j].start), m)
-            };
+            let cj =
+                unsafe { std::slice::from_raw_parts_mut((c_ptr as *mut f64).add(j * m), m) };
             let bj = b.col(j);
             for l in 0..k {
                 let blj = bj[l];
@@ -46,8 +466,10 @@ pub fn matmul(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix
     c
 }
 
-/// `C = A^T * B`.
-pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+/// Naive dot-product `C = A^T * B` — the bitwise reference for
+/// [`matmul_tn`]. Not part of the supported API surface.
+#[doc(hidden)]
+pub fn matmul_tn_naive(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: inner dimension mismatch");
     let m = a.cols();
     let n = b.cols();
@@ -73,8 +495,10 @@ pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMat
     c
 }
 
-/// `C = A * B^T`.
-pub fn matmul_nt(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+/// Naive `C = A * B^T` — the bitwise reference for [`matmul_nt`]. Not
+/// part of the supported API surface.
+#[doc(hidden)]
+pub fn matmul_nt_naive(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dimension mismatch");
     let m = a.rows();
     let n = b.rows();
@@ -103,23 +527,15 @@ pub fn matmul_nt(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMat
     c
 }
 
-/// `y = A * x` for a dense vector `x`.
-pub fn matvec(a: &DenseMatrix, x: &[f64]) -> Vec<f64> {
-    assert_eq!(a.cols(), x.len());
-    let mut y = vec![0.0; a.rows()];
-    for (l, &xl) in x.iter().enumerate() {
-        if xl == 0.0 {
-            continue;
-        }
-        for (yi, &ai) in y.iter_mut().zip(a.col(l)) {
-            *yi += xl * ai;
-        }
-    }
-    y
-}
-
-/// `C -= A * B` in place (used for `A Omega - Q (B Omega)` updates).
-pub fn matmul_sub_assign(c: &mut DenseMatrix, a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) {
+/// Naive in-place `C -= A * B` — the bitwise reference for
+/// [`matmul_sub_assign`]. Not part of the supported API surface.
+#[doc(hidden)]
+pub fn matmul_sub_assign_naive(
+    c: &mut DenseMatrix,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    par: Parallelism,
+) {
     assert_eq!(a.cols(), b.rows());
     assert_eq!(c.rows(), a.rows());
     assert_eq!(c.cols(), b.cols());
@@ -175,6 +591,14 @@ mod tests {
         })
     }
 
+    fn assert_bitwise_eq(a: &DenseMatrix, b: &DenseMatrix) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
     #[test]
     fn matmul_matches_naive() {
         let a = rand_mat(13, 7, 1);
@@ -184,6 +608,41 @@ mod tests {
         assert!(c.max_abs_diff(&c_ref) < 1e-13);
         let c_par = matmul(&a, &b, Parallelism::new(4));
         assert!(c_par.max_abs_diff(&c_ref) < 1e-13);
+    }
+
+    #[test]
+    fn blocked_bitwise_equals_naive_reference() {
+        // Shapes straddling the MR/NR tile boundaries.
+        for (m, k, n, seed) in [
+            (1, 1, 1, 1u64),
+            (8, 4, 4, 2),
+            (9, 5, 7, 3),
+            (16, 16, 16, 4),
+            (23, 11, 13, 5),
+            (7, 3, 2, 6),
+        ] {
+            let a = rand_mat(m, k, seed);
+            let b = rand_mat(k, n, seed + 100);
+            assert_bitwise_eq(
+                &matmul(&a, &b, Parallelism::new(3)),
+                &matmul_naive(&a, &b, Parallelism::SEQ),
+            );
+            let at = rand_mat(k, m, seed + 200);
+            assert_bitwise_eq(
+                &matmul_tn(&at, &rand_mat(k, n, seed + 300), Parallelism::new(2)),
+                &matmul_tn_naive(&at, &rand_mat(k, n, seed + 300), Parallelism::SEQ),
+            );
+            let bt = rand_mat(n, k, seed + 400);
+            assert_bitwise_eq(
+                &matmul_nt(&a, &bt, Parallelism::new(4)),
+                &matmul_nt_naive(&a, &bt, Parallelism::SEQ),
+            );
+            let mut c1 = rand_mat(m, n, seed + 500);
+            let mut c2 = c1.clone();
+            matmul_sub_assign(&mut c1, &a, &b, Parallelism::new(3));
+            matmul_sub_assign_naive(&mut c2, &a, &b, Parallelism::SEQ);
+            assert_bitwise_eq(&c1, &c2);
+        }
     }
 
     #[test]

@@ -23,6 +23,8 @@ mod svd;
 mod tsqr;
 
 pub use blas::{matmul, matmul_nt, matmul_sub_assign, matmul_tn, matvec};
+#[doc(hidden)]
+pub use blas::{matmul_naive, matmul_nt_naive, matmul_sub_assign_naive, matmul_tn_naive};
 pub use jacobi::jacobi_svd;
 pub use lu::{cholesky_upper, lu, LuFactor};
 pub use matrix::DenseMatrix;

@@ -1,0 +1,104 @@
+//! Property test pinning the blocked GEMM kernels to their naive
+//! references **bitwise**, over randomized shapes (including empty and
+//! single-row/column edges), densities (exact zeros exercise the
+//! per-entry zero skip) and worker counts. This is the contract that
+//! lets the SPMD drivers keep their sharded-vs-replicated bitwise
+//! oracle while using the fast kernels.
+
+use lra_dense as blas;
+use lra_dense::DenseMatrix;
+use lra_par::Parallelism;
+use proptest::prelude::*;
+
+/// A random matrix whose entries are exactly zero with probability
+/// `zero_w / 100` — exact zeros must take the same skip path in both
+/// kernels for the bitwise contract to be meaningful.
+fn mat(rows: usize, cols: usize, zero_w: u8) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec((-10.0f64..10.0, 0u8..100), rows * cols).prop_map(
+        move |pairs| {
+            let data = pairs
+                .into_iter()
+                .map(|(v, w)| if w < zero_w { 0.0 } else { v })
+                .collect();
+            DenseMatrix::from_column_major(rows, cols, data)
+        },
+    )
+}
+
+fn assert_bitwise(tag: &str, fast: &DenseMatrix, reference: &DenseMatrix) {
+    assert_eq!(fast.rows(), reference.rows(), "{tag}: row mismatch");
+    assert_eq!(fast.cols(), reference.cols(), "{tag}: col mismatch");
+    for (i, (x, y)) in fast
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{tag}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+/// Shapes spanning the interesting tile boundaries: empty dims, single
+/// row/column, exact multiples of the 8x4 tile, and ragged tails.
+fn shapes() -> impl Strategy<Value = (usize, usize, usize)> {
+    (0usize..34, 0usize..18, 0usize..21)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_blocked_eq_naive(
+        (a, b, workers) in shapes().prop_flat_map(|(m, k, n)| {
+            (mat(m, k, 25), mat(k, n, 25), 1usize..5)
+        })
+    ) {
+        let par = Parallelism::new(workers);
+        let fast = blas::matmul(&a, &b, par);
+        let reference = blas::matmul_naive(&a, &b, Parallelism::SEQ);
+        assert_bitwise("matmul", &fast, &reference);
+    }
+
+    #[test]
+    fn matmul_tn_blocked_eq_naive(
+        (a, b, workers) in shapes().prop_flat_map(|(m, k, n)| {
+            // inner dimension is the row count for A^T B
+            (mat(k, m, 25), mat(k, n, 25), 1usize..5)
+        })
+    ) {
+        let par = Parallelism::new(workers);
+        let fast = blas::matmul_tn(&a, &b, par);
+        let reference = blas::matmul_tn_naive(&a, &b, Parallelism::SEQ);
+        assert_bitwise("matmul_tn", &fast, &reference);
+    }
+
+    #[test]
+    fn matmul_nt_blocked_eq_naive(
+        (a, b, workers) in shapes().prop_flat_map(|(m, k, n)| {
+            (mat(m, k, 25), mat(n, k, 25), 1usize..5)
+        })
+    ) {
+        let par = Parallelism::new(workers);
+        let fast = blas::matmul_nt(&a, &b, par);
+        let reference = blas::matmul_nt_naive(&a, &b, Parallelism::SEQ);
+        assert_bitwise("matmul_nt", &fast, &reference);
+    }
+
+    #[test]
+    fn matmul_sub_assign_blocked_eq_naive(
+        (a, b, c0, workers) in shapes().prop_flat_map(|(m, k, n)| {
+            (mat(m, k, 25), mat(k, n, 25), mat(m, n, 10), 1usize..5)
+        })
+    ) {
+        let par = Parallelism::new(workers);
+        let mut fast = c0.clone();
+        let mut reference = c0;
+        blas::matmul_sub_assign(&mut fast, &a, &b, par);
+        blas::matmul_sub_assign_naive(&mut reference, &a, &b, Parallelism::SEQ);
+        assert_bitwise("matmul_sub_assign", &fast, &reference);
+    }
+}
