@@ -34,7 +34,7 @@ pub use checkpoint::{IlutCheckpoint, LuCrtpCheckpoint, QbCheckpoint, RecoveryHoo
 pub use lucrtp::{
     ilut_crtp, ilut_crtp_checkpointed, lu_crtp, lu_crtp_checkpointed, Breakdown, DropStrategy,
     IlutOpts, InvalidInput, IterTrace, LFormation, LuCrtpOpts, LuCrtpResult, MemStats,
-    OrderingMode, ThresholdReport,
+    OrderingMode, ThresholdReport, DEFAULT_DENSE_SWITCH,
 };
 pub use qb::{rand_qb_ei, rand_qb_ei_checkpointed, QbError, QbOpts, QbResult, QB_INDICATOR_FLOOR};
 pub use spmd::{

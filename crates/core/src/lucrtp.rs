@@ -15,7 +15,7 @@ use lra_dense::{lu, DenseMatrix};
 use lra_ordering::fill_reducing_order;
 use lra_par::{parallel_for, parallel_map_fold, Parallelism};
 use lra_qrtp::{tournament_columns, tournament_rows_dense, TournamentTree};
-use lra_sparse::CscMatrix;
+use lra_sparse::{CscMatrix, SparseAccumulator};
 
 /// When to apply the fill-reducing (COLAMD + etree postorder)
 /// preprocessing — the ablation axis of Fig. 1 (left).
@@ -80,6 +80,11 @@ pub enum InvalidInput {
         /// Column count.
         cols: usize,
     },
+    /// `dense_switch` must be finite and in `(0, 1]` when set.
+    BadDenseSwitch {
+        /// The offending threshold.
+        dense_switch: f64,
+    },
 }
 
 impl std::fmt::Display for InvalidInput {
@@ -97,6 +102,9 @@ impl std::fmt::Display for InvalidInput {
             }
             InvalidInput::EmptyMatrix { rows, cols } => {
                 write!(f, "input matrix is empty ({rows}x{cols})")
+            }
+            InvalidInput::BadDenseSwitch { dense_switch } => {
+                write!(f, "dense_switch must be finite and in (0, 1], got {dense_switch}")
             }
         }
     }
@@ -132,7 +140,23 @@ pub struct LuCrtpOpts {
     pub max_rank: Option<usize>,
     /// How `L21` is computed.
     pub l_formation: LFormation,
+    /// Fill-aware hybrid Schur kernel: when a column's predicted
+    /// density (`min(nnz(a22 col) + |x_rows|, m) / m`) reaches this
+    /// fraction, the column merge switches from the sparse two-pointer
+    /// path to a dense scatter through the sparse accumulator. `None`
+    /// (the default) keeps the always-sparse path; both paths are
+    /// bitwise identical, so this is a pure performance knob — see
+    /// [`DEFAULT_DENSE_SWITCH`] for the benchmarked setting.
+    pub dense_switch: Option<f64>,
 }
+
+/// Benchmark-tuned default for [`LuCrtpOpts::dense_switch`]: switch a
+/// column to the dense scatter path once its predicted fill reaches a
+/// quarter of the column height. At that density the two-pointer merge
+/// and the per-`q` correction gather both touch `O(m)` entries anyway,
+/// so the branch-free scatter wins (`kernel_bench`'s ILUT sweep gates
+/// that this never regresses the always-sparse path).
+pub const DEFAULT_DENSE_SWITCH: f64 = 0.25;
 
 impl LuCrtpOpts {
     /// Defaults matching the paper's setup: first-iteration COLAMD,
@@ -161,12 +185,19 @@ impl LuCrtpOpts {
             par: Parallelism::SEQ,
             max_rank: None,
             l_formation: LFormation::Direct,
+            dense_switch: None,
         })
     }
 
     /// Re-check the invariants (for options assembled field-by-field).
     pub fn validate(&self) -> Result<(), InvalidInput> {
-        Self::try_new(self.k, self.tau).map(|_| ())
+        Self::try_new(self.k, self.tau)?;
+        if let Some(d) = self.dense_switch {
+            if !d.is_finite() || d <= 0.0 || d > 1.0 {
+                return Err(InvalidInput::BadDenseSwitch { dense_switch: d });
+            }
+        }
+        Ok(())
     }
 
     /// Builder-style parallelism setter.
@@ -184,6 +215,22 @@ impl LuCrtpOpts {
     /// Builder-style rank cap setter.
     pub fn with_max_rank(mut self, max_rank: usize) -> Self {
         self.max_rank = Some(max_rank);
+        self
+    }
+
+    /// Builder-style dense-switch setter (see
+    /// [`LuCrtpOpts::dense_switch`]; pass [`DEFAULT_DENSE_SWITCH`] for
+    /// the benchmarked setting). Panics on an out-of-range threshold;
+    /// assemble the field directly and call [`LuCrtpOpts::validate`]
+    /// for the non-panicking path.
+    pub fn with_dense_switch(mut self, dense_switch: f64) -> Self {
+        if !dense_switch.is_finite() || dense_switch <= 0.0 || dense_switch > 1.0 {
+            panic!(
+                "LuCrtpOpts::with_dense_switch: {}",
+                InvalidInput::BadDenseSwitch { dense_switch }
+            );
+        }
+        self.dense_switch = Some(dense_switch);
         self
     }
 }
@@ -280,6 +327,10 @@ pub struct MemStats {
     pub peak_rank_bytes: u64,
     /// Max over ranks of the peak resident Schur-shard nonzeros.
     pub peak_rank_nnz: u64,
+    /// Total Schur-update columns (summed over ranks and iterations)
+    /// that crossed the [`LuCrtpOpts::dense_switch`] threshold and took
+    /// the dense scatter path; `0` when the knob is off.
+    pub dense_switch_cols: u64,
 }
 
 /// One iteration of the factorization trace.
@@ -491,6 +542,10 @@ fn drive(
         };
     }
 
+    // Kernel scratch reused across all iterations (transpose targets,
+    // ILUT drop target, sparse accumulator for the hybrid Schur path).
+    let mut ws = SchurWorkspace::new();
+    let mut dense_cols_total = 0u64;
     let mut s: CscMatrix;
     let mut row_map: Vec<usize>;
     let mut col_map: Vec<usize>;
@@ -611,18 +666,21 @@ fn drive(
             break;
         }
         let (x_rows, xt) = timers.time(KernelId::LSolve, || match opts.l_formation {
-            LFormation::Direct => l21_direct(&a21, &lu11, k_eff, par),
+            LFormation::Direct => l21_direct(&a21, &lu11, k_eff, &mut ws.tbuf, par),
             LFormation::QBased => l21_qbased(&qk, &rows, &rest_rows, k_eff, par),
         });
 
         // Line 12: Schur complement.
-        let mut s_next = timers.time(KernelId::Schur, || {
-            schur_update(&a22, &x_rows, &xt, &a12, par)
+        let (mut s_next, schur_dense_cols) = timers.time(KernelId::Schur, || {
+            schur_update(&a22, &x_rows, &xt, &a12, opts.dense_switch, &mut ws, par)
         });
+        dense_cols_total += schur_dense_cols;
 
         // Record factors (line 9/11), in original coordinates.
         timers.time(KernelId::Concat, || {
-            let a12t = a12.transpose();
+            // `tbuf` last held Ā21^T, which L-solve is done with.
+            a12.transpose_into(&mut ws.tbuf);
+            let a12t = &ws.tbuf;
             for t in 0..k_eff {
                 // U row: pivot-column entries from Ā11, trailing from Ā12.
                 let mut ucol: Vec<(usize, f64)> = Vec::new();
@@ -700,7 +758,7 @@ fn drive(
             if state.mu > 0.0 {
                 timers.time(KernelId::Drop, || match state.cfg.strategy {
                     DropStrategy::Fixed => {
-                        let (dropped_mat, mass, count) = s_next.drop_below(state.mu);
+                        let (mass, count) = s_next.drop_below_into(state.mu, &mut ws.dropbuf);
                         if (state.mass_sq + mass).sqrt() >= state.phi {
                             // Control (22): undo, disable thresholding.
                             state.control_triggered = true;
@@ -708,7 +766,9 @@ fn drive(
                         } else {
                             state.mass_sq += mass;
                             state.dropped += count;
-                            s_next = dropped_mat;
+                            // Accept the drop; the displaced Schur
+                            // storage becomes next iteration's target.
+                            std::mem::swap(&mut s_next, &mut ws.dropbuf);
                         }
                     }
                     DropStrategy::Aggressive => {
@@ -728,11 +788,12 @@ fn drive(
                             }
                             if cutoff > 0.0 {
                                 let thr = cutoff * (1.0 + 1e-15) + f64::MIN_POSITIVE;
-                                let (dropped_mat, mass, count) = s_next.drop_below(thr);
+                                let (mass, count) =
+                                    s_next.drop_below_into(thr, &mut ws.dropbuf);
                                 if (state.mass_sq + mass).sqrt() < state.phi {
                                     state.mass_sq += mass;
                                     state.dropped += count;
-                                    s_next = dropped_mat;
+                                    std::mem::swap(&mut s_next, &mut ws.dropbuf);
                                 }
                             }
                         }
@@ -793,6 +854,10 @@ fn drive(
         (l, ut.transpose())
     });
 
+    if opts.dense_switch.is_some() {
+        lra_obs::metrics::global().set_gauge("kernel.dense_switch", dense_cols_total as f64);
+    }
+
     LuCrtpResult {
         l,
         u,
@@ -829,13 +894,17 @@ fn assemble_csc(rows: usize, cols: &[Vec<(usize, f64)>]) -> CscMatrix {
 /// `L21 = Ā21 Ā11^{-1}` exploiting the sparse rows of `Ā21`.
 /// Returns the nonzero row positions (into the trailing rows) and the
 /// dense `k x nr` matrix `X^T` (column `r` = row `x_rows[r]` of `L21`).
-fn l21_direct(
+/// `tbuf` receives the transposed `Ā21` (caller-owned scratch reused
+/// across iterations).
+pub(crate) fn l21_direct(
     a21: &CscMatrix,
     lu11: &lra_dense::LuFactor,
     k: usize,
+    tbuf: &mut CscMatrix,
     par: Parallelism,
 ) -> (Vec<usize>, DenseMatrix) {
-    let a21t = a21.transpose(); // rows of Ā21 as columns
+    a21.transpose_into(tbuf); // rows of Ā21 as columns
+    let a21t = &*tbuf;
     let x_rows: Vec<usize> = (0..a21t.cols()).filter(|&c| a21t.col_nnz(c) > 0).collect();
     let nr = x_rows.len();
     let mut xt = DenseMatrix::zeros(k, nr);
@@ -891,22 +960,50 @@ fn l21_qbased(
     (x_rows, xt)
 }
 
+/// Reusable scratch for the Schur-update kernels, owned by each driver
+/// and threaded through every iteration so the inner loops allocate
+/// nothing: the sparse accumulator behind the dense scatter path, the
+/// per-column correction vector, and the transpose / ILUT-drop target
+/// buffers recycled by [`CscMatrix::transpose_into`] and
+/// [`CscMatrix::drop_below_into`].
+pub(crate) struct SchurWorkspace {
+    spa: SparseAccumulator,
+    corr: Vec<f64>,
+    pub(crate) tbuf: CscMatrix,
+    pub(crate) dropbuf: CscMatrix,
+}
+
+impl SchurWorkspace {
+    pub(crate) fn new() -> Self {
+        SchurWorkspace {
+            spa: SparseAccumulator::new(),
+            corr: Vec::new(),
+            tbuf: CscMatrix::zeros(0, 0),
+            dropbuf: CscMatrix::zeros(0, 0),
+        }
+    }
+}
+
 /// `S = Ā22 - X Ā12` with `X` given as dense rows over `x_rows`
 /// (`xt` is `k x nr`, column `r` = the dense row `x_rows[r]` of `X`).
 /// Parallel over output columns; this is where LU_CRTP's fill-in
-/// materializes.
+/// materializes. Also returns the number of columns the fill-aware
+/// hybrid routed through the dense scatter path.
 fn schur_update(
     a22: &CscMatrix,
     x_rows: &[usize],
     xt: &DenseMatrix,
     a12: &CscMatrix,
+    dense_switch: Option<f64>,
+    ws: &mut SchurWorkspace,
     par: Parallelism,
-) -> CscMatrix {
+) -> (CscMatrix, u64) {
     let m = a22.rows();
     let n = a22.cols();
     debug_assert_eq!(a12.cols(), n);
     debug_assert_eq!(a12.rows(), xt.rows());
-    let (lens, rowidx, values) = schur_update_ranged(a22, x_rows, xt, a12, 0..n, par);
+    let (lens, rowidx, values, dense_cols) =
+        schur_update_ranged(a22, x_rows, xt, a12, 0..n, dense_switch, ws, par);
     let mut colptr = Vec::with_capacity(n + 1);
     colptr.push(0);
     let mut run = 0;
@@ -914,7 +1011,7 @@ fn schur_update(
         run += l;
         colptr.push(run);
     }
-    CscMatrix::from_parts(m, n, colptr, rowidx, values)
+    (CscMatrix::from_parts(m, n, colptr, rowidx, values), dense_cols)
 }
 
 /// Chunk width (output columns) of the parallel Schur update.
@@ -928,71 +1025,127 @@ pub(crate) const SCHUR_GRAIN: usize = 32;
 /// the concatenation is bitwise-identical to one sequential pass over
 /// `range` for any worker count — which is what keeps the sharded and
 /// replicated drivers bit-for-bit aligned while both go parallel
-/// within a rank.
+/// within a rank. In sequential mode the caller's workspace is reused
+/// directly (no per-call allocation); in parallel mode each chunk
+/// carries its own workspace, amortized over [`SCHUR_GRAIN`] columns.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn schur_update_ranged(
     a22: &CscMatrix,
     x_rows: &[usize],
     xt: &DenseMatrix,
     a12: &CscMatrix,
     range: std::ops::Range<usize>,
+    dense_switch: Option<f64>,
+    ws: &mut SchurWorkspace,
     par: Parallelism,
-) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
-    type Partial = (Vec<usize>, Vec<usize>, Vec<f64>);
+) -> (Vec<usize>, Vec<usize>, Vec<f64>, u64) {
+    if !par.is_parallel() {
+        return schur_update_cols(a22, x_rows, xt, a12, range, dense_switch, ws);
+    }
+    type Partial = (Vec<usize>, Vec<usize>, Vec<f64>, u64);
     let lo = range.start;
     parallel_map_fold(
         par,
         range.len(),
         SCHUR_GRAIN,
-        (Vec::new(), Vec::new(), Vec::new()),
-        |r| -> Partial { schur_update_cols(a22, x_rows, xt, a12, lo + r.start..lo + r.end) },
+        (Vec::new(), Vec::new(), Vec::new(), 0u64),
+        |r| -> Partial {
+            let mut chunk_ws = SchurWorkspace::new();
+            schur_update_cols(
+                a22,
+                x_rows,
+                xt,
+                a12,
+                lo + r.start..lo + r.end,
+                dense_switch,
+                &mut chunk_ws,
+            )
+        },
         |mut acc, part| {
             acc.0.extend(part.0);
             acc.1.extend(part.1);
             acc.2.extend(part.2);
+            acc.3 += part.3;
             acc
         },
     )
 }
 
 /// Schur-complement kernel for a contiguous column range: returns the
-/// per-column entry counts plus concatenated row indices and values.
-/// Shared by the thread-parallel and the SPMD (rank-distributed)
-/// drivers.
+/// per-column entry counts, concatenated row indices and values, and
+/// the count of columns that took the dense path. Shared by the
+/// thread-parallel and the SPMD (rank-distributed) drivers.
+///
+/// Per column the kernel is fill-aware: when `dense_switch` is set and
+/// the column's predicted density `min(nnz(a22 col) + |x_rows|, m) / m`
+/// reaches the threshold, the merge runs as a dense scatter through the
+/// workspace's [`SparseAccumulator`] instead of the sparse two-pointer
+/// walk. Both paths replay identical per-row floating-point chains
+/// (`corr` accumulation in ascending `t`, then `a22 - corr` / `-corr`)
+/// and emit rows ascending with the same drop-exact-zero rule, so the
+/// result is bitwise independent of the threshold — the property the
+/// sharded-vs-replicated oracle tests rely on.
 pub(crate) fn schur_update_cols(
     a22: &CscMatrix,
     x_rows: &[usize],
     xt: &DenseMatrix,
     a12: &CscMatrix,
     range: std::ops::Range<usize>,
-) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+    dense_switch: Option<f64>,
+    ws: &mut SchurWorkspace,
+) -> (Vec<usize>, Vec<usize>, Vec<f64>, u64) {
+    let m = a22.rows();
     let k = xt.rows();
     let nr = x_rows.len();
-    let mut corr = vec![0.0f64; nr];
+    ws.corr.clear();
+    ws.corr.resize(nr, 0.0);
     let mut lens = Vec::with_capacity(range.len());
     let mut rows_out = Vec::new();
     let mut vals_out = Vec::new();
+    let mut dense_cols = 0u64;
+    let xt_data = xt.as_slice();
     for j in range {
         let (ti, tv) = a12.col(j);
-        let any_corr = !ti.is_empty();
-        if any_corr {
-            for c in corr.iter_mut() {
-                *c = 0.0;
-            }
-            let xt_data = xt.as_slice();
-            for (&t, &v) in ti.iter().zip(tv) {
-                // corr[r] += v * xt[t, r] — walk row t of xt.
-                for (r, cr) in corr.iter_mut().enumerate() {
-                    *cr += v * xt_data[t + r * k];
-                }
-            }
-        }
-        // Merge a22 column with -corr at x_rows.
         let (ai, av) = a22.col(j);
         let before = rows_out.len();
-        if !any_corr {
+        if ti.is_empty() {
+            // No correction touches this column: pure copy.
             rows_out.extend_from_slice(ai);
             vals_out.extend_from_slice(av);
+            lens.push(rows_out.len() - before);
+            continue;
+        }
+        let go_dense = dense_switch
+            .is_some_and(|thr| m > 0 && ((ai.len() + nr).min(m)) as f64 >= thr * m as f64);
+        if go_dense {
+            dense_cols += 1;
+            let spa = &mut ws.spa;
+            spa.begin(m);
+            for (&r, &v) in ai.iter().zip(av) {
+                spa.set_keep(r, v);
+            }
+            for (q, &r) in x_rows.iter().enumerate() {
+                // corr[q] = sum_t a12[t, j] * xt[t, q] over column q of
+                // xt (contiguous), fused with its application.
+                let xtc = &xt_data[q * k..q * k + k];
+                let mut acc = 0.0;
+                for (&t, &v) in ti.iter().zip(tv) {
+                    acc += v * xtc[t];
+                }
+                spa.apply_sub(r, acc);
+            }
+            spa.extract_append(&mut rows_out, &mut vals_out);
         } else {
+            for (q, cr) in ws.corr.iter_mut().enumerate() {
+                let xtc = &xt_data[q * k..q * k + k];
+                let mut acc = 0.0;
+                for (&t, &v) in ti.iter().zip(tv) {
+                    acc += v * xtc[t];
+                }
+                *cr = acc;
+            }
+            let corr = &ws.corr;
+            // Merge a22 column with -corr at x_rows.
             let mut p = 0usize; // into a22 col
             let mut q = 0usize; // into x_rows
             while p < ai.len() || q < nr {
@@ -1020,5 +1173,5 @@ pub(crate) fn schur_update_cols(
         }
         lens.push(rows_out.len() - before);
     }
-    (lens, rows_out, vals_out)
+    (lens, rows_out, vals_out, dense_cols)
 }

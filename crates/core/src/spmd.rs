@@ -36,7 +36,7 @@
 
 use crate::lucrtp::{
     schur_update_ranged, validate_matrix, Breakdown, DropStrategy, IlutOpts, InvalidInput,
-    IterTrace, LuCrtpOpts, LuCrtpResult, MemStats, ThresholdReport,
+    IterTrace, LuCrtpOpts, LuCrtpResult, MemStats, SchurWorkspace, ThresholdReport,
 };
 use crate::timers::KernelTimers;
 use lra_comm::{CommError, Ctx, RunConfig};
@@ -219,12 +219,26 @@ struct SpmdPanelCtx<'a> {
     /// Intra-rank worker count for the owned-range kernels (Schur
     /// update, threshold pass) — `opts.par`.
     par: Parallelism,
+    /// Fill-aware hybrid threshold for the Schur kernel
+    /// (`opts.dense_switch`).
+    dense_switch: Option<f64>,
+    /// Columns this rank routed through the dense scatter path.
+    dense_cols: u64,
+    /// Kernel scratch reused across iterations (transpose target,
+    /// sparse accumulator).
+    ws: SchurWorkspace,
     peak_bytes: usize,
     peak_nnz: usize,
 }
 
 impl<'a> SpmdPanelCtx<'a> {
-    fn new(ctx: &'a Ctx, shard: ColSlice, n_cur: usize, par: Parallelism) -> Self {
+    fn new(
+        ctx: &'a Ctx,
+        shard: ColSlice,
+        n_cur: usize,
+        par: Parallelism,
+        dense_switch: Option<f64>,
+    ) -> Self {
         let mut eng = SpmdPanelCtx {
             ctx,
             rank: ctx.rank(),
@@ -232,6 +246,9 @@ impl<'a> SpmdPanelCtx<'a> {
             shard,
             n_cur,
             par,
+            dense_switch,
+            dense_cols: 0,
+            ws: SchurWorkspace::new(),
             peak_bytes: 0,
             peak_nnz: 0,
         };
@@ -242,10 +259,15 @@ impl<'a> SpmdPanelCtx<'a> {
     /// Slice this rank's shard out of a full (e.g. checkpointed)
     /// Schur complement under the *current* rank count — resuming a
     /// snapshot written by a larger grid redistributes implicitly.
-    fn from_full(ctx: &'a Ctx, s: &CscMatrix, par: Parallelism) -> Self {
+    fn from_full(
+        ctx: &'a Ctx,
+        s: &CscMatrix,
+        par: Parallelism,
+        dense_switch: Option<f64>,
+    ) -> Self {
         let ranges = split_ranges(s.cols(), ctx.size());
         let my = owned_range(&ranges, ctx.rank());
-        Self::new(ctx, ColSlice::from_full(s, my), s.cols(), par)
+        Self::new(ctx, ColSlice::from_full(s, my), s.cols(), par, dense_switch)
     }
 
     fn note_mem(&mut self) {
@@ -427,12 +449,13 @@ impl<'a> SpmdPanelCtx<'a> {
     /// small dense `X^T` is needed in full by every rank's Schur
     /// correction under a 1-D column distribution.
     fn solve_l21(
-        &self,
+        &mut self,
         a21: &CscMatrix,
         lu11: &LuFactor,
         k_eff: usize,
     ) -> (Vec<usize>, DenseMatrix) {
-        let a21t = a21.transpose();
+        a21.transpose_into(&mut self.ws.tbuf);
+        let a21t = &self.ws.tbuf;
         let x_rows: Vec<usize> = (0..a21t.cols()).filter(|&c| a21t.col_nnz(c) > 0).collect();
         let nr = x_rows.len();
         let ranges = split_ranges(nr, self.size);
@@ -492,8 +515,17 @@ impl<'a> SpmdPanelCtx<'a> {
         let a22_own = gather_csc(&p22);
         let my_new = owned_range(&new_ranges, self.rank);
         debug_assert_eq!(a22_own.cols(), my_new.len());
-        let (lens, rows_out, vals_out) =
-            schur_update_ranged(&a22_own, x_rows, xt, &a12_own, 0..a22_own.cols(), self.par);
+        let (lens, rows_out, vals_out, dc) = schur_update_ranged(
+            &a22_own,
+            x_rows,
+            xt,
+            &a12_own,
+            0..a22_own.cols(),
+            self.dense_switch,
+            &mut self.ws,
+            self.par,
+        );
+        self.dense_cols += dc;
         let mut colptr = Vec::with_capacity(lens.len() + 1);
         colptr.push(0);
         let mut run = 0usize;
@@ -667,15 +699,17 @@ impl<'a> SpmdPanelCtx<'a> {
         }
     }
 
-    /// Max-over-ranks peak shard storage (identical on every rank).
+    /// Max-over-ranks peak shard storage plus the summed dense-path
+    /// column count (identical on every rank).
     fn mem_stats(&self) -> MemStats {
-        let (bytes, nnz) = self.ctx.allreduce(
-            (self.peak_bytes as u64, self.peak_nnz as u64),
-            |x, y| (x.0.max(y.0), x.1.max(y.1)),
+        let (bytes, nnz, dense_cols) = self.ctx.allreduce(
+            (self.peak_bytes as u64, self.peak_nnz as u64, self.dense_cols),
+            |x, y| (x.0.max(y.0), x.1.max(y.1), x.2 + y.2),
         );
         MemStats {
             peak_rank_bytes: bytes,
             peak_rank_nnz: nnz,
+            dense_switch_cols: dense_cols,
         }
     }
 }
@@ -758,7 +792,7 @@ fn drive_spmd_sharded(
             st.dropped = ick.dropped;
             st.control_triggered = ick.control_triggered;
         }
-        eng = SpmdPanelCtx::from_full(ctx, &ck.s, opts.par);
+        eng = SpmdPanelCtx::from_full(ctx, &ck.s, opts.par, opts.dense_switch);
     } else {
         // Preprocessing on rank 0, broadcast (COLAMD is intrinsically
         // sequential — "we apply COLAMD as a preprocessing step").
@@ -778,7 +812,13 @@ fn drive_spmd_sharded(
         let ranges = split_ranges(n, size);
         let my = owned_range(&ranges, rank);
         let local = a.select_columns(&initial_cols[my.clone()]);
-        eng = SpmdPanelCtx::new(ctx, ColSlice::new(my.start, local), n, opts.par);
+        eng = SpmdPanelCtx::new(
+            ctx,
+            ColSlice::new(my.start, local),
+            n,
+            opts.par,
+            opts.dense_switch,
+        );
         row_map = (0..m).collect();
         col_map = initial_cols;
     }
@@ -977,6 +1017,9 @@ fn drive_spmd_sharded(
         let g = lra_obs::metrics::global();
         g.set_gauge("mem.peak_rank_bytes", mem.peak_rank_bytes as f64);
         g.set_gauge("mem.peak_rank_nnz", mem.peak_rank_nnz as f64);
+        if opts.dense_switch.is_some() {
+            g.set_gauge("kernel.dense_switch", mem.dense_switch_cols as f64);
+        }
     }
 
     // Materialize the factors on rank 0, then one final broadcast so
@@ -1072,6 +1115,8 @@ fn drive_spmd_replicated(
     let mut breakdown = None;
     let mut indicator = a_norm_f;
     let mut r11 = 0.0f64;
+    // Kernel scratch reused across iterations by the Schur update.
+    let mut schur_ws = SchurWorkspace::new();
 
     // Resume: every rank loads the same shared store, so all ranks
     // restore the identical (replicated) snapshot — consistency needs
@@ -1273,8 +1318,18 @@ fn drive_spmd_replicated(
             let n_rest = a22.cols();
             let ranges = split_ranges(n_rest, size);
             let my_range = owned_range(&ranges, rank);
-            let my_part = schur_update_ranged(&a22, &x_rows, &xt, &a12, my_range, opts.par);
-            let parts: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> = ctx.allgather(my_part);
+            let (lens_p, rows_p, vals_p, _dense) = schur_update_ranged(
+                &a22,
+                &x_rows,
+                &xt,
+                &a12,
+                my_range,
+                opts.dense_switch,
+                &mut schur_ws,
+                opts.par,
+            );
+            let parts: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> =
+                ctx.allgather((lens_p, rows_p, vals_p));
             let mut colptr = Vec::with_capacity(n_rest + 1);
             colptr.push(0);
             let mut rowidx = Vec::new();

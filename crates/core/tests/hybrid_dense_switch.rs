@@ -1,0 +1,144 @@
+//! The fill-aware hybrid Schur kernel (`dense_switch`) against the
+//! always-sparse path.
+//!
+//! The dense scatter path is constructed to replay the sparse merge's
+//! exact floating-point chains, so the factorization must agree with
+//! the always-sparse run — normwise (the acceptance bound) and in fact
+//! bitwise — at every threshold, for both LU_CRTP and ILUT_CRTP, and
+//! through the sharded SPMD driver. Also covers the `dense_switch`
+//! validation surface and the `MemStats` / gauge accounting of dense
+//! transitions.
+
+use lra_core::{
+    ilut_crtp, ilut_crtp_spmd, lu_crtp, IlutOpts, InvalidInput, LuCrtpOpts, LuCrtpResult,
+    DEFAULT_DENSE_SWITCH,
+};
+use lra_sparse::{add_scaled, CscMatrix};
+
+/// Fill-heavy fluid-style block matrix — dense Schur columns appear
+/// within a couple of iterations, so the hybrid actually switches.
+fn fill_heavy() -> CscMatrix {
+    lra_matgen::with_decay(&lra_matgen::fluid_block(12, 10, 31), 1e-7, 33)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_same_factorization(hybrid: &LuCrtpResult, sparse: &LuCrtpResult, what: &str) {
+    assert_eq!(hybrid.rank, sparse.rank, "{what}: rank");
+    assert_eq!(hybrid.iterations, sparse.iterations, "{what}: iterations");
+    assert_eq!(hybrid.converged, sparse.converged, "{what}: converged");
+    assert_eq!(hybrid.pivot_rows, sparse.pivot_rows, "{what}: pivot_rows");
+    assert_eq!(hybrid.pivot_cols, sparse.pivot_cols, "{what}: pivot_cols");
+    // Normwise agreement — the acceptance requirement for the hybrid.
+    let l_rel = add_scaled(&hybrid.l, -1.0, &sparse.l).fro_norm()
+        / sparse.l.fro_norm().max(f64::MIN_POSITIVE);
+    let u_rel = add_scaled(&hybrid.u, -1.0, &sparse.u).fro_norm()
+        / sparse.u.fro_norm().max(f64::MIN_POSITIVE);
+    assert!(l_rel <= 1e-12, "{what}: L relative diff {l_rel}");
+    assert!(u_rel <= 1e-12, "{what}: U relative diff {u_rel}");
+    // In fact the paths are bitwise identical by construction — pin it.
+    assert_eq!(bits(hybrid.l.values()), bits(sparse.l.values()), "{what}: L bits");
+    assert_eq!(bits(hybrid.u.values()), bits(sparse.u.values()), "{what}: U bits");
+    assert_eq!(
+        hybrid.indicator.to_bits(),
+        sparse.indicator.to_bits(),
+        "{what}: indicator"
+    );
+}
+
+#[test]
+fn ilut_hybrid_matches_always_sparse_across_taus() {
+    let a = fill_heavy();
+    for tau in [1e-2, 1e-4] {
+        let baseline = ilut_crtp(&a, &IlutOpts::new(8, tau, 4));
+        assert!(baseline.converged, "tau={tau}: {:?}", baseline.breakdown);
+        // From "switch almost every corrected column" (f64::MIN_POSITIVE)
+        // through the benchmarked default to "never switch" (1.0).
+        for thr in [f64::MIN_POSITIVE, 0.05, DEFAULT_DENSE_SWITCH, 1.0] {
+            let mut opts = IlutOpts::new(8, tau, 4);
+            opts.base = opts.base.with_dense_switch(thr);
+            let hybrid = ilut_crtp(&a, &opts);
+            assert_same_factorization(&hybrid, &baseline, &format!("tau={tau} thr={thr}"));
+        }
+    }
+}
+
+#[test]
+fn lu_hybrid_matches_always_sparse() {
+    let a = fill_heavy();
+    let baseline = lu_crtp(&a, &LuCrtpOpts::new(8, 1e-3));
+    let hybrid = lu_crtp(&a, &LuCrtpOpts::new(8, 1e-3).with_dense_switch(0.05));
+    assert_same_factorization(&hybrid, &baseline, "lu thr=0.05");
+}
+
+#[test]
+fn sequential_hybrid_records_dense_switch_gauge() {
+    let a = fill_heavy();
+    let opts = IlutOpts::new(8, 1e-2, 4);
+    let mut hybrid_opts = opts.clone();
+    hybrid_opts.base = hybrid_opts.base.with_dense_switch(0.05);
+    let _ = ilut_crtp(&a, &hybrid_opts);
+    match lra_obs::metrics::global().get("kernel.dense_switch") {
+        Some(lra_obs::metrics::MetricValue::Gauge(v)) => {
+            assert!(v > 0.0, "expected dense transitions, gauge = {v}");
+        }
+        other => panic!("kernel.dense_switch gauge missing: {other:?}"),
+    }
+}
+
+#[test]
+fn spmd_hybrid_matches_and_counts_transitions() {
+    let a = fill_heavy();
+    let opts = IlutOpts::new(8, 1e-2, 4);
+    let mut hybrid_opts = opts.clone();
+    hybrid_opts.base = hybrid_opts.base.with_dense_switch(0.05);
+    for np in [1usize, 2] {
+        let mut base = lra_comm::run_infallible(np, |ctx| ilut_crtp_spmd(ctx, &a, &opts));
+        let mut hyb = lra_comm::run_infallible(np, |ctx| ilut_crtp_spmd(ctx, &a, &hybrid_opts));
+        let b = base.swap_remove(0);
+        let h = hyb.swap_remove(0);
+        assert!(b.converged, "np={np}: {:?}", b.breakdown);
+        assert_same_factorization(&h, &b, &format!("spmd np={np}"));
+        let mem_b = b.mem.expect("sharded mem report");
+        let mem_h = h.mem.expect("sharded mem report");
+        assert_eq!(mem_b.dense_switch_cols, 0, "np={np}: knob off must count 0");
+        assert!(
+            mem_h.dense_switch_cols > 0,
+            "np={np}: expected dense transitions"
+        );
+    }
+}
+
+#[test]
+fn dense_switch_validation() {
+    let mut opts = LuCrtpOpts::new(8, 1e-2);
+    for bad in [0.0, -0.5, 2.0, f64::NAN, f64::INFINITY] {
+        opts.dense_switch = Some(bad);
+        match opts.validate() {
+            Err(InvalidInput::BadDenseSwitch { dense_switch }) => {
+                assert!(dense_switch.is_nan() || dense_switch == bad);
+            }
+            other => panic!("dense_switch={bad}: expected BadDenseSwitch, got {other:?}"),
+        }
+    }
+    opts.dense_switch = Some(1.0);
+    assert!(opts.validate().is_ok(), "1.0 is a legal threshold");
+    opts.dense_switch = None;
+    assert!(opts.validate().is_ok(), "None is the default");
+
+    // The invalid threshold also surfaces through IlutOpts::validate.
+    let mut iopts = IlutOpts::new(8, 1e-2, 4);
+    iopts.base.dense_switch = Some(f64::NAN);
+    assert!(matches!(
+        iopts.validate(),
+        Err(InvalidInput::BadDenseSwitch { .. })
+    ));
+}
+
+#[test]
+#[should_panic(expected = "dense_switch must be finite and in (0, 1]")]
+fn with_dense_switch_panics_on_out_of_range() {
+    let _ = LuCrtpOpts::new(8, 1e-2).with_dense_switch(1.5);
+}

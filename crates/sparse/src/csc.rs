@@ -215,36 +215,52 @@ impl CscMatrix {
 
     /// Transposed copy (also serves as the CSR view of `self`).
     pub fn transpose(&self) -> CscMatrix {
-        let mut counts = vec![0usize; self.rows + 1];
+        let mut out = CscMatrix::zeros(0, 0);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// [`CscMatrix::transpose`] into a caller-owned matrix, reusing its
+    /// buffers — the allocation-free form the factorization inner loops
+    /// call every iteration. `out`'s previous contents are discarded.
+    ///
+    /// No scratch is allocated: `out.colptr` serves first as the count
+    /// array, then (after a prefix sum) as the per-column write cursor,
+    /// and is repaired by a right-shift afterwards.
+    pub fn transpose_into(&self, out: &mut CscMatrix) {
+        let nnz = self.nnz();
+        out.rows = self.cols;
+        out.cols = self.rows;
+        out.colptr.clear();
+        out.colptr.resize(self.rows + 1, 0);
+        out.rowidx.clear();
+        out.rowidx.resize(nnz, 0);
+        out.values.clear();
+        out.values.resize(nnz, 0.0);
         for &r in &self.rowidx {
-            counts[r + 1] += 1;
+            out.colptr[r + 1] += 1;
         }
         for i in 0..self.rows {
-            counts[i + 1] += counts[i];
+            out.colptr[i + 1] += out.colptr[i];
         }
-        let mut colptr = counts.clone();
-        let mut rowidx = vec![0usize; self.nnz()];
-        let mut values = vec![0f64; self.nnz()];
-        let mut cursor = counts;
+        // Scatter, advancing `colptr[r]` in place as the write cursor;
+        // the column-major source scan produces ascending `j` per
+        // target column, so rows come out sorted.
         for j in 0..self.cols {
-            let (ri, vs) = self.col(j);
-            for (&r, &v) in ri.iter().zip(vs) {
-                let p = cursor[r];
-                rowidx[p] = j;
-                values[p] = v;
-                cursor[r] += 1;
+            let (s, e) = (self.colptr[j], self.colptr[j + 1]);
+            for (&r, &v) in self.rowidx[s..e].iter().zip(&self.values[s..e]) {
+                let p = out.colptr[r];
+                out.rowidx[p] = j;
+                out.values[p] = v;
+                out.colptr[r] += 1;
             }
         }
-        // Column-major scan of the source produces ascending j per
-        // target column, so rows are already sorted.
-        colptr.truncate(self.rows + 1);
-        CscMatrix {
-            rows: self.cols,
-            cols: self.rows,
-            colptr,
-            rowidx,
-            values,
+        // Each cursor now sits at the start of the next column: shift
+        // right and re-anchor to restore the pointer array.
+        for r in (0..self.rows).rev() {
+            out.colptr[r + 1] = out.colptr[r];
         }
+        out.colptr[0] = 0;
     }
 
     /// New matrix whose column `p` is `self` column `perm[p]`.
@@ -338,10 +354,25 @@ impl CscMatrix {
     /// squared Frobenius mass and count (the `||T̃^(i)||_F^2` bookkeeping
     /// of ILUT_CRTP, Algorithm 3, lines 8-9).
     pub fn drop_below(&self, threshold: f64) -> (CscMatrix, f64, usize) {
-        let mut colptr = Vec::with_capacity(self.cols + 1);
-        colptr.push(0);
-        let mut rowidx = Vec::with_capacity(self.nnz());
-        let mut values = Vec::with_capacity(self.nnz());
+        let mut out = CscMatrix::zeros(0, 0);
+        let (dropped_sq, dropped) = self.drop_below_into(threshold, &mut out);
+        (out, dropped_sq, dropped)
+    }
+
+    /// [`CscMatrix::drop_below`] into a caller-owned matrix, reusing its
+    /// buffers — the allocation-free form the ILUT drop loop calls every
+    /// iteration. `out`'s previous contents are discarded; returns the
+    /// dropped squared mass and count.
+    pub fn drop_below_into(&self, threshold: f64, out: &mut CscMatrix) -> (f64, usize) {
+        out.rows = self.rows;
+        out.cols = self.cols;
+        out.colptr.clear();
+        out.colptr.reserve(self.cols + 1);
+        out.colptr.push(0);
+        out.rowidx.clear();
+        out.rowidx.reserve(self.nnz());
+        out.values.clear();
+        out.values.reserve(self.nnz());
         let mut dropped_sq = 0.0;
         let mut dropped = 0usize;
         for j in 0..self.cols {
@@ -351,23 +382,13 @@ impl CscMatrix {
                     dropped_sq += v * v;
                     dropped += 1;
                 } else {
-                    rowidx.push(r);
-                    values.push(v);
+                    out.rowidx.push(r);
+                    out.values.push(v);
                 }
             }
-            colptr.push(rowidx.len());
+            out.colptr.push(out.rowidx.len());
         }
-        (
-            CscMatrix {
-                rows: self.rows,
-                cols: self.cols,
-                colptr,
-                rowidx,
-                values,
-            },
-            dropped_sq,
-            dropped,
-        )
+        (dropped_sq, dropped)
     }
 
     /// Dropped squared mass and count that [`CscMatrix::drop_below`]
@@ -710,6 +731,33 @@ mod tests {
         let t = a.transpose();
         assert_eq!(t.get(0, 2), 4.0);
         assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn transpose_into_reuses_buffers() {
+        let a = sample();
+        // Reuse an `out` holding stale unrelated contents.
+        let mut out = CscMatrix::identity(7);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+        // Round-trip through the same buffer-owner.
+        let mut back = CscMatrix::zeros(0, 0);
+        out.transpose_into(&mut back);
+        assert_eq!(back, a);
+        // Empty source resets a previously-filled target.
+        CscMatrix::zeros(2, 4).transpose_into(&mut out);
+        assert_eq!(out, CscMatrix::zeros(4, 2));
+    }
+
+    #[test]
+    fn drop_below_into_matches_drop_below() {
+        let a = sample();
+        let mut out = CscMatrix::identity(9); // stale contents
+        let (mass, count) = a.drop_below_into(2.5, &mut out);
+        let (expect, mass_e, count_e) = a.drop_below(2.5);
+        assert_eq!(out, expect);
+        assert_eq!(mass.to_bits(), mass_e.to_bits());
+        assert_eq!(count, count_e);
     }
 
     #[test]

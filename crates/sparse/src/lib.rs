@@ -19,6 +19,7 @@ mod csr;
 mod dist;
 mod io;
 mod ops;
+mod spa;
 
 pub use coo::CooMatrix;
 pub use csc::{CscMatrix, SparseBuilder};
@@ -28,4 +29,7 @@ pub use io::{
     read_matrix_market, read_matrix_market_file, write_matrix_market, write_matrix_market_file,
     MmError,
 };
-pub use ops::{add_scaled, dense_mul_csc, spgemm, spmm_dense, spmm_t_dense, spmv};
+pub use ops::{
+    add_scaled, dense_mul_csc, spgemm, spgemm_reference, spmm_dense, spmm_t_dense, spmv,
+};
+pub use spa::SparseAccumulator;

@@ -3,7 +3,7 @@
 //! (Gustavson), which materializes the fill-in of LU_CRTP's Schur
 //! complement updates.
 
-use crate::CscMatrix;
+use crate::{CscMatrix, SparseAccumulator};
 use lra_dense::DenseMatrix;
 use lra_par::{parallel_for, parallel_map_fold, Parallelism};
 
@@ -105,9 +105,68 @@ pub fn spmv(a: &CscMatrix, x: &[f64]) -> Vec<f64> {
     y
 }
 
-/// General sparse-sparse product `C = A * B` (Gustavson, column-wise,
-/// parallel over column chunks of `B` with per-chunk accumulators).
+/// General sparse-sparse product `C = A * B` (column-wise, parallel
+/// over column chunks of `B`).
+///
+/// Each chunk drives one reusable [`SparseAccumulator`]: generation
+/// stamps replace the marker clear, the occupancy bitset replaces the
+/// per-column pattern sort, and no per-column allocation happens.
+/// Bitwise identical to [`spgemm_reference`] (same accumulation chains,
+/// same ascending emission, same drop-exact-zeros rule), pinned by a
+/// property test.
 pub fn spgemm(a: &CscMatrix, b: &CscMatrix, par: Parallelism) -> CscMatrix {
+    assert_eq!(a.cols(), b.rows(), "spgemm: dimension mismatch");
+    let m = a.rows();
+    let n = b.cols();
+    // Per-chunk partial results folded in ascending chunk order.
+    type Partial = (Vec<usize>, Vec<usize>, Vec<f64>); // col lens, rows, vals
+    let grain = 64usize;
+    let (lens, rowidx, values) = parallel_map_fold(
+        par,
+        n,
+        grain,
+        (Vec::new(), Vec::new(), Vec::new()),
+        |range| -> Partial {
+            let mut spa = SparseAccumulator::new();
+            let mut lens = Vec::with_capacity(range.len());
+            let mut rows = Vec::new();
+            let mut vals = Vec::new();
+            for j in range {
+                spa.begin(m);
+                let (bri, bvs) = b.col(j);
+                for (&t, &bv) in bri.iter().zip(bvs) {
+                    let (ari, avs) = a.col(t);
+                    for (&r, &av) in ari.iter().zip(avs) {
+                        spa.scatter_add(r, av * bv);
+                    }
+                }
+                let before = rows.len();
+                spa.extract_append(&mut rows, &mut vals);
+                lens.push(rows.len() - before);
+            }
+            (lens, rows, vals)
+        },
+        |mut acc, part| {
+            acc.0.extend(part.0);
+            acc.1.extend(part.1);
+            acc.2.extend(part.2);
+            acc
+        },
+    );
+    let mut colptr = Vec::with_capacity(n + 1);
+    colptr.push(0);
+    let mut run = 0usize;
+    for l in lens {
+        run += l;
+        colptr.push(run);
+    }
+    CscMatrix::from_parts(m, n, colptr, rowidx, values)
+}
+
+/// Original sort-based Gustavson SpGEMM, kept as the bitwise oracle for
+/// [`spgemm`] and the kernel benchmark. Not part of the public API.
+#[doc(hidden)]
+pub fn spgemm_reference(a: &CscMatrix, b: &CscMatrix, par: Parallelism) -> CscMatrix {
     assert_eq!(a.cols(), b.rows(), "spgemm: dimension mismatch");
     let m = a.rows();
     let n = b.cols();
@@ -314,6 +373,25 @@ mod tests {
         for j in 0..c.cols() {
             let (ri, _) = c.col(j);
             assert!(ri.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn spgemm_matches_reference_bitwise() {
+        for (seed, (m, k, n, pc)) in
+            [(21, (30, 25, 20, 5)), (22, (1, 1, 1, 1)), (23, (40, 3, 17, 2))]
+        {
+            let a = rand_sparse(m, k, pc, seed);
+            let b = rand_sparse(k, n, pc, seed + 100);
+            for np in [1, 4] {
+                let fast = spgemm(&a, &b, Parallelism::new(np));
+                let slow = spgemm_reference(&a, &b, Parallelism::SEQ);
+                assert_eq!(fast.colptr(), slow.colptr(), "colptr np={np}");
+                assert_eq!(fast.rowidx(), slow.rowidx(), "rowidx np={np}");
+                for (x, y) in fast.values().iter().zip(slow.values()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "values np={np}");
+                }
+            }
         }
     }
 
