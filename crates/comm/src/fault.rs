@@ -14,6 +14,8 @@
 //! chaos test reproduces exactly.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A declarative set of faults to inject into one [`crate::run_with`]
@@ -35,12 +37,26 @@ pub struct FaultPlan {
     kills_iter: Vec<(usize, u64)>,
     drops: Vec<(usize, u64)>,
     delay: Option<DelaySpec>,
+    stalls: Vec<StallSpec>,
 }
 
 #[derive(Debug, Clone)]
 struct DelaySpec {
     seed: u64,
     max: Duration,
+}
+
+/// One injected stall: the rank sleeps `stall` when it announces
+/// `iteration`. When `spent` is set the stall is one-shot *across plan
+/// clones* — a supervisor that clones the plan into every retry
+/// attempt re-injects a recurring stall forever, while a one-shot
+/// stall models a transient hiccup that resolves on retry.
+#[derive(Debug, Clone)]
+struct StallSpec {
+    rank: usize,
+    iteration: u64,
+    stall: Duration,
+    spent: Option<Arc<AtomicBool>>,
 }
 
 impl FaultPlan {
@@ -80,6 +96,44 @@ impl FaultPlan {
         self
     }
 
+    /// Stall `rank` for `stall` when it announces algorithm iteration
+    /// `iteration` (1-based, via [`crate::Ctx::begin_iteration`]). A
+    /// stall longer than the run's watchdog makes every *peer* fail
+    /// with [`crate::CommError::Timeout`] — the deterministic way to
+    /// inject a transient (retryable) failure at a chosen iteration,
+    /// complementing [`FaultPlan::kill_rank_at_iteration`]'s permanent
+    /// one. Recurring: a cloned plan re-injects the stall on every
+    /// execution (see [`FaultPlan::stall_rank_once_at_iteration`]).
+    pub fn stall_rank_at_iteration(mut self, rank: usize, iteration: u64, stall: Duration) -> Self {
+        self.stalls.push(StallSpec {
+            rank,
+            iteration: iteration.max(1),
+            stall,
+            spent: None,
+        });
+        self
+    }
+
+    /// Like [`FaultPlan::stall_rank_at_iteration`], but one-shot across
+    /// clones of this plan: the first execution that reaches the
+    /// iteration stalls, every later one (e.g. a supervisor's retry of
+    /// the same configuration) runs clean. This models a transient
+    /// delay that resolved — the scenario a retry policy exists for.
+    pub fn stall_rank_once_at_iteration(
+        mut self,
+        rank: usize,
+        iteration: u64,
+        stall: Duration,
+    ) -> Self {
+        self.stalls.push(StallSpec {
+            rank,
+            iteration: iteration.max(1),
+            stall,
+            spent: Some(Arc::new(AtomicBool::new(false))),
+        });
+        self
+    }
+
     /// Silently drop the `nth` message (0-based) sent by `rank`. The
     /// receiver is *not* notified — detection is the watchdog's job.
     pub fn drop_nth_send(mut self, rank: usize, nth: u64) -> Self {
@@ -101,6 +155,7 @@ impl FaultPlan {
             && self.kills_iter.is_empty()
             && self.drops.is_empty()
             && self.delay.is_none()
+            && self.stalls.is_empty()
     }
 
     /// The op index at which `rank` must die, if any (earliest wins).
@@ -134,6 +189,19 @@ impl FaultPlan {
         v
     }
 
+    /// Stalls scheduled for `rank`, keyed by iteration.
+    pub(crate) fn stalls_for(&self, rank: usize) -> Vec<RankStall> {
+        self.stalls
+            .iter()
+            .filter(|s| s.rank == rank)
+            .map(|s| RankStall {
+                iteration: s.iteration,
+                stall: s.stall,
+                spent: s.spent.clone(),
+            })
+            .collect()
+    }
+
     /// Per-rank delay stream, if delivery delays are enabled.
     pub(crate) fn delay_for(&self, rank: usize) -> Option<RankDelay> {
         self.delay.as_ref().map(|spec| RankDelay {
@@ -144,6 +212,25 @@ impl FaultPlan {
             ),
             max_nanos: spec.max.as_nanos().min(u128::from(u64::MAX)) as u64,
         })
+    }
+}
+
+/// One rank's resolved stall schedule entry.
+#[derive(Debug)]
+pub(crate) struct RankStall {
+    pub(crate) iteration: u64,
+    pub(crate) stall: Duration,
+    spent: Option<Arc<AtomicBool>>,
+}
+
+impl RankStall {
+    /// Whether this stall should fire now (consumes the one-shot
+    /// budget shared across plan clones, if any).
+    pub(crate) fn arm(&self) -> bool {
+        match &self.spent {
+            None => true,
+            Some(flag) => !flag.swap(true, Ordering::Relaxed),
+        }
     }
 }
 
@@ -235,6 +322,23 @@ mod tests {
             (0..8).map(|_| a2.next_delay()).collect::<Vec<_>>(),
             (0..8).map(|_| c.next_delay()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn recurring_stall_rearms_but_one_shot_spends_across_clones() {
+        let recurring = FaultPlan::new().stall_rank_at_iteration(1, 2, Duration::from_millis(5));
+        let r = &recurring.stalls_for(1)[0];
+        assert_eq!(r.iteration, 2);
+        assert!(r.arm() && r.arm(), "recurring stall must always fire");
+
+        let once = FaultPlan::new().stall_rank_once_at_iteration(0, 3, Duration::from_millis(5));
+        let cloned = once.clone();
+        let a = &once.stalls_for(0)[0];
+        assert!(a.arm(), "first arm fires");
+        let b = &cloned.stalls_for(0)[0];
+        assert!(!b.arm(), "the clone shares the spent flag");
+        assert!(once.stalls_for(1).is_empty());
+        assert!(!once.is_empty());
     }
 
     #[test]

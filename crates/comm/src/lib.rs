@@ -50,7 +50,7 @@ pub use error::{CommError, TimeoutDiagnostics};
 pub use fault::FaultPlan;
 pub use stats::{CommStats, MessageSize};
 
-use fault::RankDelay;
+use fault::{RankDelay, RankStall};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -229,6 +229,7 @@ pub struct Ctx {
     kill_at_iter: Option<u64>,
     drops: Vec<u64>,
     delay: Option<RankDelay>,
+    stalls: Vec<RankStall>,
     // Counters.
     stats: RefCell<CommStats>,
     op_index: Cell<u64>,
@@ -331,6 +332,16 @@ impl Ctx {
     /// matching plan entry this is a counter update and one branch.
     pub fn begin_iteration(&self, iteration: u64) {
         self.stats.borrow_mut().iterations = iteration;
+        for stall in &self.stalls {
+            if stall.iteration == iteration && stall.arm() {
+                // The rank is healthy but unresponsive: peers blocked
+                // on its collective contributions hit their watchdog
+                // (CommError::Timeout, the transient classification).
+                self.stats.borrow_mut().fault_stalled += 1;
+                lra_obs::trace::instant("comm.fault_stall");
+                std::thread::sleep(stall.stall);
+            }
+        }
         if self.kill_at_iter == Some(iteration) {
             raise::<()>(CommError::Failed {
                 rank: self.rank,
@@ -882,6 +893,7 @@ where
                         kill_at_iter: config.faults.kill_iteration_for(rank),
                         drops: config.faults.drops_for(rank),
                         delay: config.faults.delay_for(rank),
+                        stalls: config.faults.stalls_for(rank),
                         stats: RefCell::new(CommStats::default()),
                         op_index: Cell::new(0),
                         coll_pc: Cell::new(0),
@@ -1366,6 +1378,41 @@ mod tests {
             }
         });
         assert!(report2.all_ok());
+    }
+
+    #[test]
+    fn one_shot_stall_times_out_peers_then_resolves() {
+        // A stall longer than the watchdog is a deterministic
+        // transient: peers report Timeout (their own, not collateral),
+        // and because the stall is one-shot the identical configuration
+        // succeeds on the next execution — exactly the contract a
+        // supervisor's retry path relies on.
+        let cfg = RunConfig::default()
+            .with_watchdog(Duration::from_millis(100))
+            .with_faults(FaultPlan::new().stall_rank_once_at_iteration(
+                1,
+                2,
+                Duration::from_millis(400),
+            ));
+        let grid = |ctx: &Ctx| {
+            let mut acc = 0usize;
+            for it in 1..=3u64 {
+                ctx.begin_iteration(it);
+                acc = ctx.allreduce(1usize, |a, b| a + b);
+            }
+            acc
+        };
+        let broken = run_with(2, &cfg, grid);
+        assert!(!broken.all_ok());
+        assert!(
+            broken.results[0].as_ref().unwrap_err().is_timeout(),
+            "the healthy peer must classify the stall as a timeout: {:?}",
+            broken.results[0]
+        );
+        assert_eq!(broken.stats[1].fault_stalled, 1);
+        let retried = run_with(2, &cfg, grid);
+        assert!(retried.all_ok(), "{:?}", retried.failure_summary());
+        assert_eq!(retried.stats[1].fault_stalled, 0);
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub struct CommStats {
     pub fault_dropped: u64,
     /// Deliveries delayed by the fault plan.
     pub fault_delayed: u64,
+    /// Iteration announcements stalled by the fault plan (the
+    /// timeout-injection hook [`crate::FaultPlan::stall_rank_at_iteration`]).
+    pub fault_stalled: u64,
 }
 
 impl CommStats {
@@ -68,7 +71,7 @@ impl CommStats {
     /// this once per rank of a [`crate::RunReport`] yields both the
     /// per-rank shape and the aggregate traffic volume).
     pub fn export_metrics(&self, reg: &lra_obs::MetricsRegistry, rank: usize) {
-        let counters: [(&str, u64); 9] = [
+        let counters: [(&str, u64); 10] = [
             ("iterations", self.iterations),
             ("msgs_sent", self.msgs_sent),
             ("msgs_received", self.msgs_received),
@@ -78,6 +81,7 @@ impl CommStats {
             ("ops", self.ops),
             ("fault_dropped", self.fault_dropped),
             ("fault_delayed", self.fault_delayed),
+            ("fault_stalled", self.fault_stalled),
         ];
         for (name, value) in counters {
             reg.inc_counter(&format!("comm.rank{rank}.{name}"), value);

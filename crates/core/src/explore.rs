@@ -1,0 +1,620 @@
+//! Exhaustive fault-point exploration of the supervised recovery path.
+//!
+//! The chaos tests so far sampled the fault space with seeds. This
+//! module *enumerates* it: a clean probe run measures how many
+//! collective iterations and checkpoint saves the factorization
+//! performs, then one supervised run per **injection site** exercises
+//!
+//! - a rank **kill** at every iteration (permanent failure → grid
+//!   shrink + resume),
+//! - a watchdog **timeout** at every iteration (transient failure →
+//!   same-grid retry), injected as a one-shot rank stall via
+//!   [`FaultPlan::stall_rank_once_at_iteration`], and
+//! - every [`StorageFaultKind`] at every checkpoint save index (torn
+//!   write, bit flip, ENOSPC, crash-before-rename, stale read), paired
+//!   with a one-shot stall two iterations later so the recovery path
+//!   actually reloads the damaged generation.
+//!
+//! Each site run asserts the supervisor invariants:
+//!
+//! 1. it ends in a successful recovery or a *typed*
+//!    [`RecoveryError`] — a panic is a [`SiteOutcome::Violation`];
+//! 2. a successful same-grid resume reproduces the uninterrupted
+//!    factors **bitwise** (grid shrinks change the tournament partition
+//!    and are checked against the fixed-precision bound instead);
+//! 3. every completed run converges and satisfies
+//!    `||A - LU||_F ≤ tau·||A||_F + dropped`;
+//! 4. (strict mode) a torn/flipped generation that recovery touched
+//!    must surface as a `recover.corrupt_checkpoint` counter bump —
+//!    corruption is never absorbed silently.
+//!
+//! The per-site verdicts come back as an [`ExplorerReport`] with a
+//! text table and a JSON rendering for CI artifacts.
+
+use crate::lucrtp::{IlutOpts, LuCrtpResult};
+use crate::supervised::{ilut_crtp_supervised_with_store, SupervisedError};
+use lra_comm::{FaultPlan, RunConfig};
+use lra_obs::{Json, MetricValue};
+use lra_par::Parallelism;
+use lra_recover::{
+    CheckpointStore, RecoveryError, RecoveryPolicy, StorageFaultKind, StorageFaultPlan,
+};
+use lra_sparse::CscMatrix;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One place to inject one fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectionSite {
+    /// Kill `rank` when it announces `iteration` (permanent failure).
+    CommKill {
+        /// Rank to kill.
+        rank: usize,
+        /// 1-based iteration at which it dies.
+        iteration: u64,
+    },
+    /// Stall `rank` past the watchdog at `iteration` (transient
+    /// failure), one-shot so the retry succeeds.
+    CommTimeout {
+        /// Rank to stall.
+        rank: usize,
+        /// 1-based iteration at which it stalls.
+        iteration: u64,
+    },
+    /// Inject `kind` at checkpoint save index `save_index` (plus a
+    /// one-shot stall two iterations later to force a reload).
+    Storage {
+        /// Which storage fault.
+        kind: StorageFaultKind,
+        /// 0-based save-call index the fault hits.
+        save_index: u64,
+    },
+}
+
+impl std::fmt::Display for InjectionSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InjectionSite::CommKill { rank, iteration } => {
+                write!(f, "kill@it{iteration}.rank{rank}")
+            }
+            InjectionSite::CommTimeout { rank, iteration } => {
+                write!(f, "timeout@it{iteration}.rank{rank}")
+            }
+            InjectionSite::Storage { kind, save_index } => {
+                write!(f, "storage:{kind}@save{save_index}")
+            }
+        }
+    }
+}
+
+/// How one site run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SiteOutcome {
+    /// The supervisor absorbed the fault (≥ 1 recovery action) and the
+    /// result passed every invariant.
+    Recovered,
+    /// The fault never fired (e.g. a storage fault at the final save
+    /// that nothing reloads) and the run completed cleanly.
+    CleanCompletion,
+    /// The supervisor gave up with a typed [`RecoveryError`] — an
+    /// acceptable ending, never a hang or a panic.
+    TypedError,
+    /// An invariant broke: a panic escaped, factors diverged bitwise,
+    /// the precision bound failed, or (strict) corruption went
+    /// unreported.
+    Violation,
+}
+
+impl SiteOutcome {
+    /// Stable lowercase label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SiteOutcome::Recovered => "recovered",
+            SiteOutcome::CleanCompletion => "clean",
+            SiteOutcome::TypedError => "typed_error",
+            SiteOutcome::Violation => "VIOLATION",
+        }
+    }
+}
+
+/// The verdict for one injection site.
+#[derive(Debug, Clone)]
+pub struct SiteVerdict {
+    /// Where the fault was injected.
+    pub site: InjectionSite,
+    /// How the run ended.
+    pub outcome: SiteOutcome,
+    /// Recovery actions the supervisor took.
+    pub attempts: u64,
+    /// Rank count of the successful attempt (0 when the run failed).
+    pub final_np: usize,
+    /// Whether the sequential fallback produced the result.
+    pub degraded: bool,
+    /// `Some(..)` when a same-grid bitwise comparison against the
+    /// uninterrupted reference applied; `None` when the grid shrank or
+    /// the run failed.
+    pub bitwise_match: Option<bool>,
+    /// `recover.corrupt_checkpoint` bumps observed during this site.
+    pub corrupt_skips: u64,
+    /// Free-text detail (error messages, violation reasons).
+    pub detail: String,
+}
+
+/// Everything an exploration produced.
+#[derive(Debug)]
+pub struct ExplorerReport {
+    /// Rank count explored.
+    pub np: usize,
+    /// Iterations of the clean probe run.
+    pub iterations: usize,
+    /// Checkpoint saves of the clean probe run.
+    pub saves: u64,
+    /// One verdict per enumerated site.
+    pub verdicts: Vec<SiteVerdict>,
+}
+
+impl ExplorerReport {
+    /// True when no site violated an invariant.
+    pub fn all_ok(&self) -> bool {
+        self.verdicts
+            .iter()
+            .all(|v| v.outcome != SiteOutcome::Violation)
+    }
+
+    /// Sites whose run ended in a given outcome.
+    pub fn count(&self, outcome: &SiteOutcome) -> usize {
+        self.verdicts.iter().filter(|v| &v.outcome == outcome).count()
+    }
+
+    /// Machine-readable rendering (for CI artifacts).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("np".to_string(), Json::Num(self.np as f64)),
+            ("iterations".to_string(), Json::Num(self.iterations as f64)),
+            ("saves".to_string(), Json::Num(self.saves as f64)),
+            ("all_ok".to_string(), Json::Bool(self.all_ok())),
+            (
+                "verdicts".to_string(),
+                Json::Arr(
+                    self.verdicts
+                        .iter()
+                        .map(|v| {
+                            Json::Obj(vec![
+                                ("site".to_string(), Json::Str(v.site.to_string())),
+                                (
+                                    "outcome".to_string(),
+                                    Json::Str(v.outcome.label().to_string()),
+                                ),
+                                ("attempts".to_string(), Json::Num(v.attempts as f64)),
+                                ("final_np".to_string(), Json::Num(v.final_np as f64)),
+                                ("degraded".to_string(), Json::Bool(v.degraded)),
+                                (
+                                    "bitwise_match".to_string(),
+                                    match v.bitwise_match {
+                                        Some(b) => Json::Bool(b),
+                                        None => Json::Null,
+                                    },
+                                ),
+                                (
+                                    "corrupt_skips".to_string(),
+                                    Json::Num(v.corrupt_skips as f64),
+                                ),
+                                ("detail".to_string(), Json::Str(v.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable per-site verdict table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fault-point exploration: np={} iterations={} saves={} sites={}\n",
+            self.np,
+            self.iterations,
+            self.saves,
+            self.verdicts.len()
+        ));
+        out.push_str(&format!(
+            "{:<28} {:<12} {:>8} {:>4} {:>8} {:>8}  detail\n",
+            "site", "outcome", "attempts", "np", "bitwise", "corrupt"
+        ));
+        for v in &self.verdicts {
+            let bitwise = match v.bitwise_match {
+                Some(true) => "yes",
+                Some(false) => "NO",
+                None => "-",
+            };
+            out.push_str(&format!(
+                "{:<28} {:<12} {:>8} {:>4} {:>8} {:>8}  {}\n",
+                v.site.to_string(),
+                v.outcome.label(),
+                v.attempts,
+                v.final_np,
+                bitwise,
+                v.corrupt_skips,
+                v.detail
+            ));
+        }
+        out.push_str(&format!(
+            "totals: recovered={} clean={} typed_error={} violations={}\n",
+            self.count(&SiteOutcome::Recovered),
+            self.count(&SiteOutcome::CleanCompletion),
+            self.count(&SiteOutcome::TypedError),
+            self.count(&SiteOutcome::Violation)
+        ));
+        out
+    }
+}
+
+/// Exploration parameters. Defaults suit tiny test matrices: a short
+/// watchdog with a 3× stall, a fast-backoff policy, and both site
+/// families enabled.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Grid size of every run.
+    pub np: usize,
+    /// Checkpoint cadence (iterations per snapshot).
+    pub ckpt_every: usize,
+    /// Watchdog for timeout/storage sites (kill sites use a generous
+    /// 20 s watchdog — a kill is detected by poison, not the watchdog).
+    pub watchdog: Duration,
+    /// One-shot stall duration (must comfortably exceed the watchdog).
+    pub stall: Duration,
+    /// Recovery policy for every site run.
+    pub policy: RecoveryPolicy,
+    /// Enumerate kill/timeout sites at every iteration.
+    pub comm_sites: bool,
+    /// Enumerate every [`StorageFaultKind`] at every save index.
+    pub storage_sites: bool,
+    /// When set, storage-site stores persist on disk under this
+    /// directory (one sub-file per site) instead of in memory.
+    pub on_disk: Option<PathBuf>,
+    /// Additionally require torn/flipped generations that recovery
+    /// touched to surface as `recover.corrupt_checkpoint` bumps.
+    pub strict: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            np: 2,
+            ckpt_every: 1,
+            watchdog: Duration::from_millis(300),
+            stall: Duration::from_millis(900),
+            policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
+            comm_sites: true,
+            storage_sites: true,
+            on_disk: None,
+            strict: false,
+        }
+    }
+}
+
+fn counter(name: &str) -> u64 {
+    match lra_obs::metrics::global().get(name) {
+        Some(MetricValue::Counter(c)) => c,
+        _ => 0,
+    }
+}
+
+fn csc_bits_eq(a: &CscMatrix, b: &CscMatrix) -> bool {
+    a.colptr() == b.colptr()
+        && a.rowidx() == b.rowidx()
+        && a.values().len() == b.values().len()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn factors_bitwise_eq(a: &LuCrtpResult, b: &LuCrtpResult) -> bool {
+    a.rank == b.rank
+        && a.iterations == b.iterations
+        && a.pivot_rows == b.pivot_rows
+        && a.pivot_cols == b.pivot_cols
+        && a.indicator.to_bits() == b.indicator.to_bits()
+        && csc_bits_eq(&a.l, &b.l)
+        && csc_bits_eq(&a.u, &b.u)
+}
+
+fn precision_bound_holds(a: &CscMatrix, tau: f64, r: &LuCrtpResult) -> bool {
+    let dropped = r
+        .threshold
+        .as_ref()
+        .map(|t| t.dropped_mass_sq.sqrt())
+        .unwrap_or(0.0);
+    let exact = r.exact_error(a, Parallelism::SEQ);
+    exact <= (tau * r.a_norm_f + dropped) * 1.000001
+}
+
+/// Enumerate every injection site of an ILUT_CRTP run and fault each
+/// one in its own supervised run (see the module docs for the
+/// invariants). The probe run must complete cleanly — a matrix/config
+/// that cannot even run un-faulted is reported as `Err`.
+pub fn explore_fault_space(
+    a: &CscMatrix,
+    opts: &IlutOpts,
+    cfg: &ExploreConfig,
+) -> Result<ExplorerReport, String> {
+    // ---- Probe: clean run fixes the reference factors and the site
+    // count (iterations and checkpoint saves).
+    let probe_store = CheckpointStore::in_memory();
+    let clean_cfg = RunConfig::default().with_watchdog(Duration::from_secs(20));
+    let probe = ilut_crtp_supervised_with_store(
+        a,
+        opts,
+        cfg.np,
+        &clean_cfg,
+        &cfg.policy,
+        cfg.ckpt_every,
+        &probe_store,
+    )
+    .map_err(|e| format!("probe run failed: {e}"))?;
+    if probe.attempts != 0 {
+        return Err(format!(
+            "probe run needed {} recovery action(s) without any injected fault",
+            probe.attempts
+        ));
+    }
+    let reference = probe.value;
+    if !reference.converged {
+        return Err("probe run did not converge; pick a smaller tau or larger max_rank".into());
+    }
+    let iterations = reference.iterations;
+    let saves = probe_store.saves();
+
+    // ---- Site enumeration.
+    let mut sites = Vec::new();
+    if cfg.comm_sites {
+        for it in 1..=iterations as u64 {
+            let rank = (it as usize - 1) % cfg.np;
+            sites.push(InjectionSite::CommKill { rank, iteration: it });
+            sites.push(InjectionSite::CommTimeout { rank, iteration: it });
+        }
+    }
+    if cfg.storage_sites {
+        for save_index in 0..saves {
+            for kind in StorageFaultKind::ALL {
+                sites.push(InjectionSite::Storage { kind, save_index });
+            }
+        }
+    }
+
+    // ---- One supervised run per site.
+    let mut verdicts = Vec::with_capacity(sites.len());
+    for site in sites {
+        verdicts.push(run_site(a, opts, cfg, &reference, iterations, &site));
+    }
+
+    Ok(ExplorerReport {
+        np: cfg.np,
+        iterations,
+        saves,
+        verdicts,
+    })
+}
+
+fn run_site(
+    a: &CscMatrix,
+    opts: &IlutOpts,
+    cfg: &ExploreConfig,
+    reference: &LuCrtpResult,
+    iterations: usize,
+    site: &InjectionSite,
+) -> SiteVerdict {
+    // Build the comm fault plan, the storage fault plan, and whether
+    // the injected fault can actually fire in a run of `iterations`
+    // iterations (a storage fault at the last save has no later
+    // iteration to stall, so nothing ever reloads it).
+    let (run_cfg, storage_faults, fault_reachable) = match site {
+        InjectionSite::CommKill { rank, iteration } => (
+            RunConfig::default()
+                .with_watchdog(Duration::from_secs(20))
+                .with_faults(FaultPlan::new().kill_rank_at_iteration(*rank, *iteration)),
+            StorageFaultPlan::new(),
+            true,
+        ),
+        InjectionSite::CommTimeout { rank, iteration } => (
+            RunConfig::default()
+                .with_watchdog(cfg.watchdog)
+                .with_faults(FaultPlan::new().stall_rank_once_at_iteration(
+                    *rank,
+                    *iteration,
+                    cfg.stall,
+                )),
+            StorageFaultPlan::new(),
+            true,
+        ),
+        InjectionSite::Storage { kind, save_index } => {
+            // Save index `s` is persisted at the end of iteration
+            // `s*ckpt_every + ckpt_every`; a stall one iteration later
+            // interrupts the run while the faulted generation is the
+            // newest, forcing the resume to confront it.
+            let save_iter = (*save_index as usize + 1) * cfg.ckpt_every;
+            let stall_iter = (save_iter + 1) as u64;
+            let reachable = save_iter < iterations;
+            let comm = if reachable {
+                FaultPlan::new().stall_rank_once_at_iteration(
+                    *save_index as usize % cfg.np,
+                    stall_iter,
+                    cfg.stall,
+                )
+            } else {
+                FaultPlan::new()
+            };
+            let storage = match kind {
+                StorageFaultKind::TornWrite => {
+                    // Keep a prefix long enough to look like JSON but
+                    // short enough to be torn mid-state.
+                    StorageFaultPlan::new().torn_write_at(*save_index, 97)
+                }
+                StorageFaultKind::BitFlip => {
+                    StorageFaultPlan::new().bit_flip_at(*save_index, 0x5A5A)
+                }
+                StorageFaultKind::Enospc => StorageFaultPlan::new().enospc_at(*save_index),
+                StorageFaultKind::CrashBeforeRename => {
+                    StorageFaultPlan::new().crash_before_rename_at(*save_index)
+                }
+                // Every rank loads once per attempt: indices 0..np-1
+                // belong to the clean first attempt, so staleness from
+                // `np` onward hits exactly the resume attempts — and
+                // hits every rank of an attempt consistently.
+                StorageFaultKind::StaleRead => {
+                    StorageFaultPlan::new().stale_reads_from(cfg.np as u64)
+                }
+            };
+            (
+                RunConfig::default().with_watchdog(cfg.watchdog).with_faults(comm),
+                storage,
+                reachable,
+            )
+        }
+    };
+
+    let store = match (&cfg.on_disk, site) {
+        (Some(dir), InjectionSite::Storage { kind, save_index }) => {
+            let path = dir.join(format!("site_{}_{save_index}.json", kind.label()));
+            CheckpointStore::on_disk(path)
+        }
+        _ => CheckpointStore::in_memory(),
+    };
+    let store = store.with_faults(storage_faults);
+
+    let corrupt_before = counter("recover.corrupt_checkpoint");
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ilut_crtp_supervised_with_store(
+            a,
+            opts,
+            cfg.np,
+            &run_cfg,
+            &cfg.policy,
+            cfg.ckpt_every,
+            &store,
+        )
+    }));
+    let corrupt_skips = counter("recover.corrupt_checkpoint") - corrupt_before;
+    store.clear();
+
+    let mut verdict = SiteVerdict {
+        site: site.clone(),
+        outcome: SiteOutcome::Violation,
+        attempts: 0,
+        final_np: 0,
+        degraded: false,
+        bitwise_match: None,
+        corrupt_skips,
+        detail: String::new(),
+    };
+
+    match outcome {
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            verdict.detail = format!("panic escaped the supervisor: {msg}");
+        }
+        Ok(Err(SupervisedError::Recovery(
+            e @ (RecoveryError::RecoveryExhausted { .. } | RecoveryError::DeadlineExceeded { .. }),
+        ))) => {
+            verdict.outcome = SiteOutcome::TypedError;
+            verdict.detail = e.to_string();
+        }
+        Ok(Err(SupervisedError::Invalid(e))) => {
+            verdict.detail = format!("input invalidated mid-exploration: {e}");
+        }
+        Ok(Ok(out)) => {
+            verdict.attempts = out.attempts;
+            verdict.final_np = out.final_np;
+            verdict.degraded = out.degraded;
+            let r = &out.value;
+            if !r.converged {
+                verdict.detail = "recovered run did not converge".to_string();
+            } else if !precision_bound_holds(a, opts.base.tau, r) {
+                verdict.detail = "fixed-precision bound violated".to_string();
+            } else {
+                let same_grid = out.final_np == cfg.np && !out.degraded;
+                if same_grid {
+                    let eq = factors_bitwise_eq(r, reference);
+                    verdict.bitwise_match = Some(eq);
+                    if !eq {
+                        verdict.detail =
+                            "same-grid resume diverged bitwise from the reference".to_string();
+                        return verdict;
+                    }
+                }
+                let must_skip = cfg.strict
+                    && fault_reachable
+                    && out.attempts > 0
+                    && matches!(
+                        site,
+                        InjectionSite::Storage {
+                            kind: StorageFaultKind::TornWrite | StorageFaultKind::BitFlip,
+                            ..
+                        }
+                    );
+                if must_skip && corrupt_skips == 0 {
+                    verdict.detail =
+                        "corrupt generation absorbed without recover.corrupt_checkpoint".to_string();
+                    return verdict;
+                }
+                verdict.outcome = if out.attempts == 0 {
+                    SiteOutcome::CleanCompletion
+                } else {
+                    SiteOutcome::Recovered
+                };
+            }
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_and_outcome_render_stably() {
+        let s = InjectionSite::Storage {
+            kind: StorageFaultKind::TornWrite,
+            save_index: 2,
+        };
+        assert_eq!(s.to_string(), "storage:torn_write@save2");
+        assert_eq!(
+            InjectionSite::CommKill { rank: 1, iteration: 3 }.to_string(),
+            "kill@it3.rank1"
+        );
+        assert_eq!(SiteOutcome::Violation.label(), "VIOLATION");
+    }
+
+    #[test]
+    fn report_json_and_table_agree_on_violations() {
+        let report = ExplorerReport {
+            np: 2,
+            iterations: 4,
+            saves: 4,
+            verdicts: vec![SiteVerdict {
+                site: InjectionSite::CommTimeout { rank: 0, iteration: 1 },
+                outcome: SiteOutcome::Recovered,
+                attempts: 1,
+                final_np: 2,
+                degraded: false,
+                bitwise_match: Some(true),
+                corrupt_skips: 0,
+                detail: String::new(),
+            }],
+        };
+        assert!(report.all_ok());
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"all_ok\":true"), "{json}");
+        assert!(json.contains("timeout@it1.rank0"), "{json}");
+        let table = report.render_table();
+        assert!(table.contains("recovered"), "{table}");
+        assert!(table.contains("violations=0"), "{table}");
+    }
+}

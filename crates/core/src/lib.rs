@@ -23,6 +23,7 @@
 //! breakdowns, and per-iteration traces for the fill-in plots (Fig. 1).
 
 mod checkpoint;
+mod explore;
 mod lucrtp;
 mod qb;
 mod spmd;
@@ -31,6 +32,9 @@ mod timers;
 mod ubv;
 
 pub use checkpoint::{IlutCheckpoint, LuCrtpCheckpoint, QbCheckpoint, RecoveryHooks};
+pub use explore::{
+    explore_fault_space, ExploreConfig, ExplorerReport, InjectionSite, SiteOutcome, SiteVerdict,
+};
 pub use lucrtp::{
     ilut_crtp, ilut_crtp_checkpointed, lu_crtp, lu_crtp_checkpointed, Breakdown, DropStrategy,
     IlutOpts, InvalidInput, IterTrace, LFormation, LuCrtpOpts, LuCrtpResult, MemStats,
@@ -42,7 +46,10 @@ pub use spmd::{
     ilut_crtp_spmd_replicated, lu_crtp_dist, lu_crtp_dist_checked, lu_crtp_spmd,
     lu_crtp_spmd_checkpointed, lu_crtp_spmd_replicated,
 };
-pub use supervised::{ilut_crtp_supervised, lu_crtp_supervised, SupervisedError};
+pub use supervised::{
+    ilut_crtp_supervised, ilut_crtp_supervised_with_store, lu_crtp_supervised,
+    lu_crtp_supervised_with_store, SupervisedError,
+};
 pub use timers::{KernelId, KernelTimers, ALL_KERNELS, N_KERNELS};
 pub use ubv::{rand_ubv, UbvOpts, UbvResult};
 
@@ -51,5 +58,6 @@ pub use lra_comm::{CommError, CommStats, FaultPlan, RunConfig};
 pub use lra_par::Parallelism;
 pub use lra_qrtp::TournamentTree;
 pub use lra_recover::{
-    Checkpoint, CheckpointStore, RecoveryError, RecoveryEvent, RecoveryPolicy, Supervised,
+    Checkpoint, CheckpointStore, RecoveryError, RecoveryEvent, RecoveryPolicy, StorageFaultKind,
+    StorageFaultPlan, Supervised,
 };

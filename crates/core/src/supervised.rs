@@ -16,7 +16,11 @@
 //!    guarantee is identical.
 //!
 //! Each supervised call uses its own in-memory [`CheckpointStore`], so
-//! concurrent supervised runs never cross-resume.
+//! concurrent supervised runs never cross-resume. The `_with_store`
+//! variants accept a caller-owned store instead — for durable on-disk
+//! checkpoints, for custom retention windows, and for the fault-point
+//! explorer (`crate::explore`), which injects storage faults through
+//! `CheckpointStore::with_faults`.
 
 use crate::checkpoint::RecoveryHooks;
 use crate::lucrtp::{
@@ -72,10 +76,27 @@ pub fn lu_crtp_supervised(
     policy: &RecoveryPolicy,
     ckpt_every: usize,
 ) -> Result<Supervised<LuCrtpResult>, SupervisedError> {
+    let store = CheckpointStore::in_memory();
+    lu_crtp_supervised_with_store(a, opts, np, config, policy, ckpt_every, &store)
+}
+
+/// [`lu_crtp_supervised`] with a caller-owned [`CheckpointStore`]:
+/// snapshots survive in whatever medium the store uses (memory, disk
+/// generations), and any [`lra_recover::StorageFaultPlan`] attached to
+/// the store is exercised by the recovery path.
+#[allow(clippy::too_many_arguments)]
+pub fn lu_crtp_supervised_with_store(
+    a: &CscMatrix,
+    opts: &LuCrtpOpts,
+    np: usize,
+    config: &RunConfig,
+    policy: &RecoveryPolicy,
+    ckpt_every: usize,
+    store: &CheckpointStore,
+) -> Result<Supervised<LuCrtpResult>, SupervisedError> {
     opts.validate()?;
     validate_matrix(a)?;
-    let store = CheckpointStore::in_memory();
-    let hooks = RecoveryHooks::new(&store, ckpt_every);
+    let hooks = RecoveryHooks::new(store, ckpt_every);
     run_supervised(
         np,
         config,
@@ -102,10 +123,25 @@ pub fn ilut_crtp_supervised(
     policy: &RecoveryPolicy,
     ckpt_every: usize,
 ) -> Result<Supervised<LuCrtpResult>, SupervisedError> {
+    let store = CheckpointStore::in_memory();
+    ilut_crtp_supervised_with_store(a, opts, np, config, policy, ckpt_every, &store)
+}
+
+/// [`ilut_crtp_supervised`] with a caller-owned [`CheckpointStore`]
+/// (see [`lu_crtp_supervised_with_store`]).
+#[allow(clippy::too_many_arguments)]
+pub fn ilut_crtp_supervised_with_store(
+    a: &CscMatrix,
+    opts: &IlutOpts,
+    np: usize,
+    config: &RunConfig,
+    policy: &RecoveryPolicy,
+    ckpt_every: usize,
+    store: &CheckpointStore,
+) -> Result<Supervised<LuCrtpResult>, SupervisedError> {
     opts.validate()?;
     validate_matrix(a)?;
-    let store = CheckpointStore::in_memory();
-    let hooks = RecoveryHooks::new(&store, ckpt_every);
+    let hooks = RecoveryHooks::new(store, ckpt_every);
     run_supervised(
         np,
         config,

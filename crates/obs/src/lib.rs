@@ -22,10 +22,16 @@
 //!   `BENCH_*.json`, establishing a diffable perf baseline across PRs.
 //! - [`json`] — the minimal JSON value/parser/writer the exporters are
 //!   built on (the build environment vendors no serde).
+//! - [`crc`] — CRC-32 checksums for durability layers that need to
+//!   detect torn writes and bit flips in serialized state (the
+//!   `lra-recover` checkpoint envelopes stamp their payload with it;
+//!   corruption surfaces as `recover.corrupt_checkpoint` /
+//!   `recover.rollback` counters in [`metrics`]).
 //!
 //! This crate is a *leaf*: it depends only on `std`, so every other
 //! workspace crate can hook into it without dependency cycles.
 
+pub mod crc;
 pub mod json;
 pub mod metrics;
 pub mod report;

@@ -52,6 +52,24 @@ pub enum RecoveryEvent {
         /// What was non-finite, and where.
         what: String,
     },
+    /// A persisted checkpoint generation failed validation at load time
+    /// (torn/truncated envelope, CRC mismatch, unparseable state) and
+    /// was skipped. The load scan continues to the next-older
+    /// generation.
+    CorruptCheckpoint {
+        /// Generation number of the rejected snapshot.
+        generation: u64,
+        /// Why the snapshot was rejected.
+        reason: String,
+    },
+    /// A load rolled back past one or more corrupt generations and
+    /// resumed from an older valid snapshot.
+    Rollback {
+        /// Newest generation that existed (and was skipped).
+        from: u64,
+        /// Generation actually loaded.
+        to: u64,
+    },
 }
 
 impl RecoveryEvent {
@@ -64,6 +82,8 @@ impl RecoveryEvent {
             RecoveryEvent::Resume { .. } => "recover.resume",
             RecoveryEvent::Degrade { .. } => "recover.degrade",
             RecoveryEvent::GuardTrip { .. } => "recover.guard_trip",
+            RecoveryEvent::CorruptCheckpoint { .. } => "recover.corrupt_checkpoint",
+            RecoveryEvent::Rollback { .. } => "recover.rollback",
         }
     }
 }
@@ -90,6 +110,12 @@ impl std::fmt::Display for RecoveryEvent {
                 write!(f, "degraded to sequential fallback ({reason})")
             }
             RecoveryEvent::GuardTrip { what } => write!(f, "numerical guard trip: {what}"),
+            RecoveryEvent::CorruptCheckpoint { generation, reason } => {
+                write!(f, "corrupt checkpoint generation {generation} skipped ({reason})")
+            }
+            RecoveryEvent::Rollback { from, to } => {
+                write!(f, "rolled back from generation {from} to {to}")
+            }
         }
     }
 }

@@ -1,0 +1,285 @@
+//! Storage-fault injection plans for checkpoint stores.
+//!
+//! [`StorageFaultPlan`] is the durability-layer analogue of
+//! `lra-comm`'s `FaultPlan`: a declarative, deterministic, replayable
+//! description of the storage failures a [`crate::CheckpointStore`]
+//! should inject while a program runs. The flavors cover the classic
+//! ways checkpoints rot in production:
+//!
+//! - **torn write** — the medium persisted only a prefix of the
+//!   snapshot (power loss mid-`write(2)` on a filesystem without data
+//!   journaling);
+//! - **bit flip** — the medium returned the full snapshot with one bit
+//!   inverted (silent media corruption, a cable/firmware error);
+//! - **ENOSPC** — the write itself failed cleanly (disk full,
+//!   quota exceeded);
+//! - **crash before rename** — the temporary file was written and
+//!   fsynced but the process died before the atomic publish, so the
+//!   new generation never became visible (leftover `*.tmp`);
+//! - **stale read** — the reader does not see the newest published
+//!   generation (an un-fsynced directory entry lost in a crash, or a
+//!   caching network filesystem serving old data).
+//!
+//! Faults are indexed by the store's *save index* (0-based count of
+//! `save` calls) or *load index* (0-based count of `load` calls), so a
+//! plan replays exactly; [`StorageFaultPlan::seeded`] derives a single
+//! random fault from a seed for chaos soaks.
+
+use lra_obs::trace;
+
+/// The storage-fault flavors a plan can inject, enumerable so a
+/// fault-space explorer can cover every flavor at every site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageFaultKind {
+    /// Persist only a prefix of the snapshot bytes.
+    TornWrite,
+    /// Invert one bit of the persisted snapshot.
+    BitFlip,
+    /// Fail the save cleanly (no space left on device).
+    Enospc,
+    /// Write the temporary file but never publish the generation.
+    CrashBeforeRename,
+    /// Serve the previous generation instead of the newest.
+    StaleRead,
+}
+
+impl StorageFaultKind {
+    /// Every flavor, in a stable order (for exhaustive exploration).
+    pub const ALL: [StorageFaultKind; 5] = [
+        StorageFaultKind::TornWrite,
+        StorageFaultKind::BitFlip,
+        StorageFaultKind::Enospc,
+        StorageFaultKind::CrashBeforeRename,
+        StorageFaultKind::StaleRead,
+    ];
+
+    /// Stable lowercase label (used in verdict tables and trace
+    /// instant names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageFaultKind::TornWrite => "torn_write",
+            StorageFaultKind::BitFlip => "bit_flip",
+            StorageFaultKind::Enospc => "enospc",
+            StorageFaultKind::CrashBeforeRename => "crash_before_rename",
+            StorageFaultKind::StaleRead => "stale_read",
+        }
+    }
+}
+
+impl std::fmt::Display for StorageFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A declarative set of storage faults to inject into one
+/// [`crate::CheckpointStore`]. Build with the chainable constructors:
+///
+/// ```
+/// use lra_recover::StorageFaultPlan;
+///
+/// let plan = StorageFaultPlan::new()
+///     .torn_write_at(2, 17)      // save #2 persists only a prefix
+///     .enospc_at(5)              // save #5 fails cleanly
+///     .stale_reads_from(3);      // loads #3.. don't see the newest gen
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StorageFaultPlan {
+    torn: Vec<(u64, u64)>,
+    flips: Vec<(u64, u64)>,
+    enospc: Vec<u64>,
+    crash: Vec<u64>,
+    stale_at: Vec<u64>,
+    stale_from: Option<u64>,
+}
+
+impl StorageFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Truncate the snapshot written by save `save_index` (0-based):
+    /// only `keep % len` bytes reach the store, where `len` is the
+    /// envelope length — any `keep` value is valid and replayable.
+    pub fn torn_write_at(mut self, save_index: u64, keep: u64) -> Self {
+        self.torn.push((save_index, keep));
+        self
+    }
+
+    /// Invert bit `bit % (8 * len)` of the snapshot written by save
+    /// `save_index` (silent media corruption).
+    pub fn bit_flip_at(mut self, save_index: u64, bit: u64) -> Self {
+        self.flips.push((save_index, bit));
+        self
+    }
+
+    /// Fail save `save_index` cleanly, as if the device were full. The
+    /// previously published generations must survive untouched.
+    pub fn enospc_at(mut self, save_index: u64) -> Self {
+        self.enospc.push(save_index);
+        self
+    }
+
+    /// Save `save_index` writes (and fsyncs) its temporary file but the
+    /// "process" dies before the rename: the generation never becomes
+    /// visible, and a leftover `*.tmp` file is stranded for `clear` to
+    /// sweep. The save call itself reports success — the caller
+    /// believed the checkpoint was taken.
+    pub fn crash_before_rename_at(mut self, save_index: u64) -> Self {
+        self.crash.push(save_index);
+        self
+    }
+
+    /// Load `load_index` (0-based) does not see the newest generation —
+    /// it reads as if the latest publish never happened.
+    pub fn stale_read_at(mut self, load_index: u64) -> Self {
+        self.stale_at.push(load_index);
+        self
+    }
+
+    /// Every load with index `>= load_index` is stale (sticky variant
+    /// of [`StorageFaultPlan::stale_read_at`]). SPMD resumes issue one
+    /// load *per rank* concurrently in nondeterministic order; the
+    /// sticky form guarantees all ranks of a resume attempt observe the
+    /// same (stale) snapshot, keeping the injected fault deterministic.
+    pub fn stale_reads_from(mut self, load_index: u64) -> Self {
+        self.stale_from = Some(match self.stale_from {
+            Some(prev) => prev.min(load_index),
+            None => load_index,
+        });
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.torn.is_empty()
+            && self.flips.is_empty()
+            && self.enospc.is_empty()
+            && self.crash.is_empty()
+            && self.stale_at.is_empty()
+            && self.stale_from.is_none()
+    }
+
+    /// A plan injecting exactly one seed-derived fault: the flavor,
+    /// site index (within `saves`/`loads` sites) and corruption
+    /// coordinates all come from a SplitMix64 stream, so a failing
+    /// chaos soak reproduces from its seed alone.
+    pub fn seeded(seed: u64, saves: u64, loads: u64) -> Self {
+        let mut s = splitmix(seed ^ 0xA076_1D64_78BD_642F);
+        let kind = StorageFaultKind::ALL[(s % StorageFaultKind::ALL.len() as u64) as usize];
+        s = splitmix(s);
+        let save = if saves == 0 { 0 } else { s % saves };
+        let load = if loads == 0 { 0 } else { s % loads };
+        s = splitmix(s);
+        match kind {
+            StorageFaultKind::TornWrite => Self::new().torn_write_at(save, s),
+            StorageFaultKind::BitFlip => Self::new().bit_flip_at(save, s),
+            StorageFaultKind::Enospc => Self::new().enospc_at(save),
+            StorageFaultKind::CrashBeforeRename => Self::new().crash_before_rename_at(save),
+            StorageFaultKind::StaleRead => Self::new().stale_reads_from(load),
+        }
+    }
+
+    /// `keep` operand of a torn write scheduled for `save_index`.
+    pub(crate) fn torn_for(&self, save_index: u64) -> Option<u64> {
+        self.torn
+            .iter()
+            .find(|(i, _)| *i == save_index)
+            .map(|(_, k)| *k)
+    }
+
+    /// Bit operand of a flip scheduled for `save_index`.
+    pub(crate) fn flip_for(&self, save_index: u64) -> Option<u64> {
+        self.flips
+            .iter()
+            .find(|(i, _)| *i == save_index)
+            .map(|(_, b)| *b)
+    }
+
+    pub(crate) fn enospc_for(&self, save_index: u64) -> bool {
+        self.enospc.contains(&save_index)
+    }
+
+    pub(crate) fn crash_for(&self, save_index: u64) -> bool {
+        self.crash.contains(&save_index)
+    }
+
+    pub(crate) fn stale_for(&self, load_index: u64) -> bool {
+        self.stale_at.contains(&load_index)
+            || self.stale_from.is_some_and(|from| load_index >= from)
+    }
+}
+
+/// Record that a storage fault actually fired: a `recover.storage_fault`
+/// counter bump plus a flavor-tagged trace instant, mirroring how comm
+/// chaos marks its injections (`comm.fault_drop` etc.).
+pub(crate) fn record_injection(kind: StorageFaultKind) {
+    lra_obs::metrics::global().inc_counter("recover.storage_fault", 1);
+    match kind {
+        StorageFaultKind::TornWrite => trace::instant("storage.fault_torn_write"),
+        StorageFaultKind::BitFlip => trace::instant("storage.fault_bit_flip"),
+        StorageFaultKind::Enospc => trace::instant("storage.fault_enospc"),
+        StorageFaultKind::CrashBeforeRename => trace::instant("storage.fault_crash_before_rename"),
+        StorageFaultKind::StaleRead => trace::instant("storage.fault_stale_read"),
+    }
+}
+
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chainable_constructors_index_by_site() {
+        let p = StorageFaultPlan::new()
+            .torn_write_at(1, 40)
+            .bit_flip_at(2, 999)
+            .enospc_at(3)
+            .crash_before_rename_at(4)
+            .stale_read_at(1)
+            .stale_reads_from(7);
+        assert_eq!(p.torn_for(1), Some(40));
+        assert_eq!(p.torn_for(0), None);
+        assert_eq!(p.flip_for(2), Some(999));
+        assert!(p.enospc_for(3) && !p.enospc_for(1));
+        assert!(p.crash_for(4));
+        assert!(p.stale_for(1), "exact index");
+        assert!(!p.stale_for(2), "below the sticky threshold");
+        assert!(p.stale_for(7) && p.stale_for(12), "sticky from 7");
+        assert!(!p.is_empty());
+        assert!(StorageFaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_replay_and_vary() {
+        let a = StorageFaultPlan::seeded(11, 6, 4);
+        let b = StorageFaultPlan::seeded(11, 6, 4);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seed, same plan");
+        assert!(!a.is_empty());
+        // Across a seed range, more than one flavor appears.
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..32u64 {
+            let p = StorageFaultPlan::seeded(seed, 6, 4);
+            distinct.insert(format!("{p:?}").split('{').next().unwrap().to_string());
+            let _ = p; // shape sanity only
+        }
+        let flavors = (0..32u64)
+            .map(|s| format!("{:?}", StorageFaultPlan::seeded(s, 6, 4)))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(flavors.len() > 3, "seeds collapse to too few plans");
+    }
+
+    #[test]
+    fn sticky_staleness_keeps_the_earliest_threshold() {
+        let p = StorageFaultPlan::new().stale_reads_from(9).stale_reads_from(4);
+        assert!(p.stale_for(4) && !p.stale_for(3));
+    }
+}

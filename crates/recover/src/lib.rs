@@ -25,10 +25,12 @@
 //! the supervisor always classifies on the *origin* rank's own error.
 
 mod events;
+mod fault;
 mod store;
 
 pub use events::{record_event, record_guard_trip, RecoveryEvent};
-pub use store::{Checkpoint, CheckpointStore, CHECKPOINT_VERSION};
+pub use fault::{StorageFaultKind, StorageFaultPlan};
+pub use store::{Checkpoint, CheckpointStore, CHECKPOINT_VERSION, DEFAULT_RETENTION};
 
 use lra_comm::{CommError, RunConfig, RunReport};
 use std::time::{Duration, Instant};

@@ -1,0 +1,98 @@
+//! Fault-point explorer acceptance: enumerate every injection site of
+//! a small supervised ILUT_CRTP run — every iteration × {kill, timeout}
+//! and every checkpoint save × every storage-fault flavor — and assert
+//! the supervisor invariants at each: recovery or a typed error, never
+//! a panic; same-grid resumes bitwise-identical; corrupted generations
+//! surfaced as `recover.corrupt_checkpoint`, never absorbed silently.
+
+use std::time::Duration;
+
+use lra::core::{
+    explore_fault_space, ExploreConfig, IlutOpts, RecoveryPolicy, SiteOutcome, StorageFaultKind,
+};
+use lra::core::InjectionSite;
+
+#[test]
+fn quick_matrix_has_no_invariant_violations() {
+    let a = lra::matgen::with_decay(&lra::matgen::fem2d(8, 6, 11), 1e-6, 3);
+    let opts = IlutOpts::new(4, 1e-3, 8);
+    let dir = std::env::temp_dir().join(format!("lra_explorer_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let cfg = ExploreConfig {
+        np: 2,
+        ckpt_every: 1,
+        watchdog: Duration::from_millis(250),
+        stall: Duration::from_millis(750),
+        policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
+        comm_sites: true,
+        storage_sites: true,
+        on_disk: Some(dir.clone()),
+        strict: true,
+    };
+    let report = explore_fault_space(&a, &opts, &cfg).expect("probe run must succeed");
+    let table = report.render_table();
+    println!("{table}");
+
+    // Site space: 2 comm sites per iteration + 5 storage flavors per
+    // save (one save per iteration at ckpt_every=1).
+    assert_eq!(
+        report.verdicts.len(),
+        2 * report.iterations + 5 * report.saves as usize,
+        "{table}"
+    );
+    assert!(report.iterations >= 3, "matrix too small to explore: {table}");
+
+    // The acceptance criterion: every site ends in successful recovery
+    // or a typed RecoveryError — zero violations, zero panics.
+    assert!(report.all_ok(), "invariant violations:\n{table}");
+
+    // Faults that can fire mid-run must actually exercise recovery, not
+    // silently complete: every kill and every timeout site recovers.
+    for v in &report.verdicts {
+        match &v.site {
+            InjectionSite::CommKill { .. } => {
+                assert_eq!(v.outcome, SiteOutcome::Recovered, "{} in\n{table}", v.site);
+                assert!(v.final_np < cfg.np, "kill must shrink the grid: {table}");
+            }
+            InjectionSite::CommTimeout { .. } => {
+                assert_eq!(v.outcome, SiteOutcome::Recovered, "{} in\n{table}", v.site);
+                assert_eq!(
+                    v.bitwise_match,
+                    Some(true),
+                    "same-grid timeout resume must be bitwise: {table}"
+                );
+            }
+            InjectionSite::Storage { kind, save_index } => {
+                // Storage faults at the final save have no later
+                // iteration left to force a reload; those complete
+                // cleanly. All earlier ones must recover on the same
+                // grid, bitwise.
+                if *save_index + 1 < report.saves {
+                    assert_eq!(v.outcome, SiteOutcome::Recovered, "{} in\n{table}", v.site);
+                    assert_eq!(v.bitwise_match, Some(true), "{} in\n{table}", v.site);
+                    if matches!(
+                        kind,
+                        StorageFaultKind::TornWrite | StorageFaultKind::BitFlip
+                    ) {
+                        assert!(
+                            v.corrupt_skips > 0,
+                            "{}: corruption must surface as recover.corrupt_checkpoint\n{table}",
+                            v.site
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // The JSON artifact rendering round-trips through the parser.
+    let json = report.to_json().to_string();
+    let parsed = lra::obs::Json::parse(&json).unwrap();
+    assert_eq!(
+        parsed.get("all_ok").and_then(lra::obs::Json::as_bool),
+        Some(true)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

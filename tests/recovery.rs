@@ -6,9 +6,11 @@
 use std::time::Duration;
 
 use lra::core::{
-    ilut_crtp_spmd_checkpointed, ilut_crtp_supervised, lu_crtp_dist_checked, rand_qb_ei,
-    rand_qb_ei_checkpointed, CheckpointStore, FaultPlan, IlutOpts, InvalidInput, LuCrtpOpts,
-    Parallelism, QbOpts, RecoveryError, RecoveryHooks, RecoveryPolicy, RunConfig, SupervisedError,
+    explore_fault_space, ilut_crtp_spmd_checkpointed, ilut_crtp_supervised,
+    ilut_crtp_supervised_with_store, lu_crtp_dist_checked, rand_qb_ei, rand_qb_ei_checkpointed,
+    CheckpointStore, ExploreConfig, FaultPlan, IlutOpts, InvalidInput, LuCrtpOpts, Parallelism,
+    QbOpts, RecoveryError, RecoveryHooks, RecoveryPolicy, RunConfig, StorageFaultPlan,
+    SupervisedError,
 };
 use lra::obs::MetricValue;
 use lra::sparse::CscMatrix;
@@ -295,6 +297,13 @@ fn supervised_ilut_survives_rank_kill_with_guarantee_intact() {
 }
 
 // ---- Satellite: chaos soak --------------------------------------------
+//
+// The soak's deterministic half used to be twelve magic seeds; it is
+// now the fault-point explorer's site enumeration — every iteration ×
+// {rank kill, watchdog timeout} at np=3 — which covers the comm-fault
+// space exhaustively and reproducibly instead of by seed arithmetic.
+// A smaller random residue keeps cross-fault combinations (comm chaos
+// × seeded storage faults) in play.
 
 /// Derive a deterministic chaos plan from a seed: one of rank-kill,
 /// delivery delay, or message drop, at seed-dependent coordinates.
@@ -318,7 +327,7 @@ fn chaos_plan(seed: u64, np: usize) -> (FaultPlan, Duration) {
     }
 }
 
-/// Every seed must end in exactly one of two outcomes: a completed
+/// Every run must end in exactly one of two outcomes: a completed
 /// factorization that meets the fixed-precision bound, or a typed
 /// recovery error. A panic escaping the supervisor fails the test by
 /// itself.
@@ -326,17 +335,54 @@ fn chaos_plan(seed: u64, np: usize) -> (FaultPlan, Duration) {
 fn chaos_soak_always_completes_or_fails_typed() {
     let a = lra::matgen::with_decay(&lra::matgen::fem2d(8, 6, 19), 1e-6, 3);
     let opts = IlutOpts::new(4, 1e-3, 8);
+    let np = 3;
+
+    // Deterministic half: every comm injection site, enumerated by the
+    // explorer. (The storage half of the site space is explored
+    // exhaustively in tests/fault_explorer.rs; here storage faults
+    // enter through the seeded residue below, combined with comm
+    // chaos.)
+    let cfg = ExploreConfig {
+        np,
+        ckpt_every: 1,
+        watchdog: Duration::from_millis(300),
+        stall: Duration::from_millis(900),
+        policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
+        comm_sites: true,
+        storage_sites: false,
+        on_disk: None,
+        strict: true,
+    };
+    let report = explore_fault_space(&a, &opts, &cfg).expect("clean probe run must succeed");
+    assert!(
+        report.all_ok(),
+        "deterministic site enumeration has violations:\n{}",
+        report.render_table()
+    );
+    assert_eq!(
+        report.verdicts.len(),
+        2 * report.iterations,
+        "expected one kill and one timeout site per iteration:\n{}",
+        report.render_table()
+    );
+
+    // Random residue: seeded comm chaos with one seeded storage fault
+    // layered on the checkpoint store of each run.
     let policy = RecoveryPolicy::default()
         .with_max_retries(3)
         .with_backoff(Duration::from_millis(5));
-    let np = 3;
     let mut completed = 0usize;
-    for seed in 0..12u64 {
+    for seed in 0..4u64 {
         let (faults, watchdog) = chaos_plan(seed, np);
         let cfg = RunConfig::default()
             .with_watchdog(watchdog)
             .with_faults(faults);
-        match ilut_crtp_supervised(&a, &opts, np, &cfg, &policy, 1) {
+        let store = CheckpointStore::in_memory().with_faults(StorageFaultPlan::seeded(
+            seed,
+            report.saves,
+            np as u64,
+        ));
+        match ilut_crtp_supervised_with_store(&a, &opts, np, &cfg, &policy, 1, &store) {
             Ok(out) => {
                 let r = &out.value;
                 let dropped = r
@@ -357,7 +403,8 @@ fn chaos_soak_always_completes_or_fails_typed() {
             Err(other) => panic!("seed {seed}: untyped/unexpected failure {other}"),
         }
     }
-    // Kills and delays are always absorbable; at minimum those 8 of the
-    // 12 seeds must have completed.
-    assert!(completed >= 8, "only {completed}/12 chaos runs completed");
+    // Kills and delays stay absorbable even with a storage fault in the
+    // plan (corrupt generations roll back, failed saves trip the
+    // guard); seeds 0, 1 and 3 are those flavors.
+    assert!(completed >= 3, "only {completed}/4 residue runs completed");
 }
