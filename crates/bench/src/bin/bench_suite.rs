@@ -187,7 +187,8 @@ fn run_combination(
         .into_iter()
         .next()
         .expect("np >= 1")
-        .expect("fault-free SPMD run");
+        .expect("fault-free SPMD run")
+        .expect("fresh store, so no resume mode mismatch");
     ckpt.timers.export_metrics(reg, "ilut_crtp_spmd_ckpt");
     reg.set_gauge("recover.checkpoint_overhead_pct", (ckpt_wall / wall - 1.0) * 100.0);
     println!(

@@ -22,8 +22,8 @@
 //! save → load cycle is bitwise exact, so a resumed run on the same
 //! rank count reproduces the uninterrupted factors bit for bit.
 
-use crate::lucrtp::IterTrace;
-use lra_dense::DenseMatrix;
+use crate::lucrtp::{InvalidInput, IterTrace};
+use lra_dense::{DenseMatrix, Numerics};
 use lra_obs::Json;
 use lra_qrtp::ColumnSelection;
 pub use lra_recover::{Checkpoint, CheckpointStore};
@@ -116,6 +116,11 @@ pub struct LuCrtpCheckpoint {
     pub trace: Vec<IterTrace>,
     /// Threshold state (ILUT_CRTP only).
     pub ilut: Option<IlutCheckpoint>,
+    /// Numerics mode the snapshot was produced under. Resuming in a
+    /// different mode would splice two rounding regimes into one run,
+    /// so a mismatch is a typed error, not a silent restart.
+    /// Snapshots from before the mode existed decode as `Bitwise`.
+    pub numerics: Numerics,
 }
 
 impl Checkpoint for LuCrtpCheckpoint {
@@ -146,6 +151,10 @@ impl Checkpoint for LuCrtpCheckpoint {
             (
                 "trace".to_string(),
                 Json::Arr(self.trace.iter().map(trace_to_json).collect()),
+            ),
+            (
+                "numerics".to_string(),
+                Json::Str(self.numerics.as_str().to_string()),
             ),
         ];
         if let Some(ilut) = &self.ilut {
@@ -202,6 +211,7 @@ impl Checkpoint for LuCrtpCheckpoint {
                 .map(trace_from_json)
                 .collect::<Result<Vec<_>, _>>()?,
             ilut,
+            numerics: numerics_from_json(state)?,
         };
         if ckpt.s.rows() != ckpt.row_map.len() || ckpt.s.cols() != ckpt.col_map.len() {
             return Err(format!(
@@ -241,6 +251,10 @@ pub struct QbCheckpoint {
     pub b_blocks: Vec<DenseMatrix>,
     /// `next_u64` calls consumed from the seeded RNG so far.
     pub rng_draws: u64,
+    /// Numerics mode the snapshot was produced under (see
+    /// [`LuCrtpCheckpoint::numerics`]); pre-mode snapshots decode as
+    /// `Bitwise`.
+    pub numerics: Numerics,
 }
 
 impl Checkpoint for QbCheckpoint {
@@ -268,6 +282,10 @@ impl Checkpoint for QbCheckpoint {
                 Json::Arr(self.b_blocks.iter().map(dense_to_json).collect()),
             ),
             ("rng_draws".to_string(), Json::Num(self.rng_draws as f64)),
+            (
+                "numerics".to_string(),
+                Json::Str(self.numerics.as_str().to_string()),
+            ),
         ])
     }
 
@@ -292,6 +310,7 @@ impl Checkpoint for QbCheckpoint {
                 .get("rng_draws")
                 .and_then(Json::as_u64)
                 .ok_or("missing rng_draws")?,
+            numerics: numerics_from_json(state)?,
         })
     }
 }
@@ -300,18 +319,23 @@ impl Checkpoint for QbCheckpoint {
 /// this run (same matrix shape, same algorithm family). A corrupt or
 /// mismatched snapshot is *not* fatal — the driver records a
 /// `recover.guard_trip` and starts from iteration 0, which is always
-/// correct, just slower.
+/// correct, just slower. The one exception is a [`Numerics`] mode
+/// mismatch: restarting would silently discard the stored progress and
+/// continuing would splice rounding regimes, so it is a typed error the
+/// caller must resolve (resume in the stored mode, or clear the store).
 pub(crate) fn load_resume(
     hooks: &RecoveryHooks<'_>,
     m: usize,
     n: usize,
     want_ilut: bool,
-) -> Option<LuCrtpCheckpoint> {
+    numerics: Numerics,
+) -> Result<Option<LuCrtpCheckpoint>, InvalidInput> {
     let ck = match hooks.store().load::<LuCrtpCheckpoint>() {
-        Ok(ck) => ck?,
+        Ok(Some(ck)) => ck,
+        Ok(None) => return Ok(None),
         Err(e) => {
             lra_recover::record_guard_trip(format!("unusable checkpoint ignored: {e}"));
-            return None;
+            return Ok(None);
         }
     };
     if ck.m != m || ck.n != n {
@@ -319,15 +343,21 @@ pub(crate) fn load_resume(
             "checkpoint for {}x{} ignored for {m}x{n} input",
             ck.m, ck.n
         ));
-        return None;
+        return Ok(None);
     }
     if ck.ilut.is_some() != want_ilut {
         lra_recover::record_guard_trip(
             "checkpoint algorithm family mismatch (LU vs ILUT) ignored".to_string(),
         );
-        return None;
+        return Ok(None);
     }
-    Some(ck)
+    if ck.numerics != numerics {
+        return Err(InvalidInput::NumericsModeMismatch {
+            stored: ck.numerics,
+            requested: numerics,
+        });
+    }
+    Ok(Some(ck))
 }
 
 /// Assemble a snapshot of the shared LU/ILUT loop state (the pivot
@@ -350,6 +380,7 @@ pub(crate) fn make_snapshot(
     pivot_cols: &[usize],
     trace: &[IterTrace],
     ilut: Option<IlutCheckpoint>,
+    numerics: Numerics,
 ) -> LuCrtpCheckpoint {
     LuCrtpCheckpoint {
         m,
@@ -370,6 +401,7 @@ pub(crate) fn make_snapshot(
         pivot_rows: pivot_rows.to_vec(),
         trace: trace.to_vec(),
         ilut,
+        numerics,
     }
 }
 
@@ -383,17 +415,20 @@ pub(crate) fn save_snapshot(hooks: &RecoveryHooks<'_>, ck: &LuCrtpCheckpoint) {
 
 /// QB-side resume (see [`load_resume`]): the block shapes stand in for
 /// the matrix dimensions, since the snapshot stores no `m`/`n` of its
-/// own.
+/// own. Like the LU side, a [`Numerics`] mode mismatch is a typed
+/// error rather than a silent restart.
 pub(crate) fn load_qb_resume(
     hooks: &RecoveryHooks<'_>,
     m: usize,
     n: usize,
-) -> Option<QbCheckpoint> {
+    numerics: Numerics,
+) -> Result<Option<QbCheckpoint>, crate::qb::QbError> {
     let ck = match hooks.store().load::<QbCheckpoint>() {
-        Ok(ck) => ck?,
+        Ok(Some(ck)) => ck,
+        Ok(None) => return Ok(None),
         Err(e) => {
             lra_recover::record_guard_trip(format!("unusable checkpoint ignored: {e}"));
-            return None;
+            return Ok(None);
         }
     };
     let shapes_ok = ck.q_blocks.iter().all(|q| q.rows() == m)
@@ -403,9 +438,15 @@ pub(crate) fn load_qb_resume(
         lra_recover::record_guard_trip(format!(
             "QB checkpoint block shapes do not fit a {m}x{n} input; ignored"
         ));
-        return None;
+        return Ok(None);
     }
-    Some(ck)
+    if ck.numerics != numerics {
+        return Err(crate::qb::QbError::NumericsModeMismatch {
+            stored: ck.numerics,
+            requested: numerics,
+        });
+    }
+    Ok(Some(ck))
 }
 
 /// Persist a QB snapshot; like [`save_snapshot`], failure is a guard
@@ -417,6 +458,19 @@ pub(crate) fn save_qb_snapshot(hooks: &RecoveryHooks<'_>, ck: &QbCheckpoint) {
 }
 
 // ---- Json helpers -------------------------------------------------
+
+/// Decode the `numerics` tag; snapshots written before the mode existed
+/// carry no tag and decode as [`Numerics::Bitwise`], which is what
+/// produced them.
+fn numerics_from_json(j: &Json) -> Result<Numerics, String> {
+    match j.get("numerics") {
+        None => Ok(Numerics::Bitwise),
+        Some(v) => {
+            let s = v.as_str().ok_or("numerics tag not a string")?;
+            Numerics::parse(s).ok_or_else(|| format!("unknown numerics mode {s:?}"))
+        }
+    }
+}
 
 fn arr_usize(xs: &[usize]) -> Json {
     Json::Arr(xs.iter().map(|&x| Json::Num(x as f64)).collect())
@@ -604,6 +658,7 @@ mod tests {
                 dropped: 4,
                 control_triggered: false,
             }),
+            numerics: Numerics::Bitwise,
         }
     }
 
@@ -655,6 +710,7 @@ mod tests {
             q_blocks: vec![q.clone()],
             b_blocks: vec![b.clone()],
             rng_draws: 123456,
+            numerics: Numerics::Fast,
         };
         let store = CheckpointStore::in_memory();
         store.save(&ckpt).unwrap();
@@ -667,6 +723,23 @@ mod tests {
         assert_eq!(back.b_blocks[0].as_slice(), b.as_slice());
         assert_eq!(back.e.to_bits(), 0.875f64.to_bits());
         assert_eq!(back.history, vec![1.5, 0.9]);
+        assert_eq!(back.numerics, Numerics::Fast);
+    }
+
+    #[test]
+    fn missing_numerics_tag_decodes_as_bitwise() {
+        // Snapshots from before the mode existed carry no tag; they
+        // were produced by bitwise kernels and must decode that way.
+        let mut ckpt = sample_lu_ckpt();
+        ckpt.numerics = Numerics::Fast;
+        let stripped = match ckpt.state_to_json() {
+            Json::Obj(fields) => {
+                Json::Obj(fields.into_iter().filter(|(k, _)| k != "numerics").collect())
+            }
+            other => other,
+        };
+        let back = LuCrtpCheckpoint::state_from_json(&stripped).unwrap();
+        assert_eq!(back.numerics, Numerics::Bitwise);
     }
 
     #[test]

@@ -11,10 +11,10 @@
 //! `||P_r A P_c - L' U'||_F = ||A - L U||_F` for the permuted factors.
 
 use crate::timers::{KernelId, KernelTimers};
-use lra_dense::{lu, DenseMatrix};
+use lra_dense::{lu, pairwise_sum, pairwise_sum_sq, DenseMatrix, Numerics};
 use lra_ordering::fill_reducing_order;
 use lra_par::{parallel_for, parallel_map_fold, Parallelism};
-use lra_qrtp::{tournament_columns, tournament_rows_dense, TournamentTree};
+use lra_qrtp::{tournament_columns_mode, tournament_rows_dense_mode, TournamentTree};
 use lra_sparse::{CscMatrix, SparseAccumulator};
 
 /// When to apply the fill-reducing (COLAMD + etree postorder)
@@ -85,6 +85,17 @@ pub enum InvalidInput {
         /// The offending threshold.
         dense_switch: f64,
     },
+    /// A resume was attempted under a different [`Numerics`] mode than
+    /// the checkpoint was written with. Mode fixes the floating-point
+    /// chain, so silently switching would break the bitwise-within-mode
+    /// resume guarantee; the caller must either resume in the stored
+    /// mode or start fresh.
+    NumericsModeMismatch {
+        /// The mode recorded in the checkpoint envelope.
+        stored: Numerics,
+        /// The mode the resuming run requested.
+        requested: Numerics,
+    },
 }
 
 impl std::fmt::Display for InvalidInput {
@@ -105,6 +116,13 @@ impl std::fmt::Display for InvalidInput {
             }
             InvalidInput::BadDenseSwitch { dense_switch } => {
                 write!(f, "dense_switch must be finite and in (0, 1], got {dense_switch}")
+            }
+            InvalidInput::NumericsModeMismatch { stored, requested } => {
+                write!(
+                    f,
+                    "checkpoint was written in {stored} numerics mode but the resume \
+                     requested {requested}; resume in the stored mode or clear the store"
+                )
             }
         }
     }
@@ -148,6 +166,15 @@ pub struct LuCrtpOpts {
     /// bitwise identical, so this is a pure performance knob — see
     /// [`DEFAULT_DENSE_SWITCH`] for the benchmarked setting.
     pub dense_switch: Option<f64>,
+    /// Floating-point evaluation mode for the kernel layer:
+    /// [`Numerics::Bitwise`] (the default) keeps the reference fp
+    /// chains, [`Numerics::Fast`] opts into FMA micro-kernels, the
+    /// tree-merged panel TSQR / tournament norms, and pairwise-reduced
+    /// error indicators. Fast runs are deterministic within the mode
+    /// but only normwise-comparable (`O(n * eps * ||A||)`) to Bitwise
+    /// runs; checkpoints record the mode and refuse mode-switching
+    /// resumes.
+    pub numerics: Numerics,
 }
 
 /// Benchmark-tuned default for [`LuCrtpOpts::dense_switch`]: switch a
@@ -186,6 +213,7 @@ impl LuCrtpOpts {
             max_rank: None,
             l_formation: LFormation::Direct,
             dense_switch: None,
+            numerics: Numerics::Bitwise,
         })
     }
 
@@ -231,6 +259,12 @@ impl LuCrtpOpts {
             );
         }
         self.dense_switch = Some(dense_switch);
+        self
+    }
+
+    /// Builder-style numerics-mode setter (see [`LuCrtpOpts::numerics`]).
+    pub fn with_numerics(mut self, numerics: Numerics) -> Self {
+        self.numerics = numerics;
         self
     }
 }
@@ -298,6 +332,12 @@ impl IlutOpts {
             });
         }
         Ok(())
+    }
+
+    /// Builder-style numerics-mode setter on the underlying base opts.
+    pub fn with_numerics(mut self, numerics: Numerics) -> Self {
+        self.base.numerics = numerics;
+        self
     }
 }
 
@@ -462,22 +502,26 @@ struct IlutState {
 /// LU_CRTP (Algorithm 2): deterministic fixed-precision truncated LU
 /// with column and row tournament pivoting.
 pub fn lu_crtp(a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
-    drive(a, opts, None, None)
+    drive(a, opts, None, None).expect("no hooks, so no resume mode mismatch")
 }
 
 /// ILUT_CRTP (Algorithm 3): incomplete LU_CRTP with thresholding.
 pub fn ilut_crtp(a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
-    ilut_crtp_checkpointed(a, opts, None)
+    ilut_crtp_checkpointed(a, opts, None).expect("no hooks, so no resume mode mismatch")
 }
 
 /// [`lu_crtp`] with iteration checkpointing: snapshots the loop state
 /// through `hooks` at the end of each covered iteration, and resumes
-/// from the store's latest snapshot if one is present.
+/// from the store's latest snapshot if one is present. Fails with
+/// [`InvalidInput::NumericsModeMismatch`] when the store's latest
+/// snapshot was written under a different [`Numerics`] mode than
+/// `opts.numerics` — a bitwise-within-mode resume guarantee is only
+/// possible when the interrupted and resuming runs agree on the mode.
 pub fn lu_crtp_checkpointed(
     a: &CscMatrix,
     opts: &LuCrtpOpts,
     hooks: Option<&crate::RecoveryHooks<'_>>,
-) -> LuCrtpResult {
+) -> Result<LuCrtpResult, InvalidInput> {
     drive(a, opts, None, hooks)
 }
 
@@ -489,7 +533,7 @@ pub fn ilut_crtp_checkpointed(
     a: &CscMatrix,
     opts: &IlutOpts,
     hooks: Option<&crate::RecoveryHooks<'_>>,
-) -> LuCrtpResult {
+) -> Result<LuCrtpResult, InvalidInput> {
     let state = IlutState {
         cfg: opts.clone(),
         mu: 0.0,
@@ -507,17 +551,21 @@ fn drive(
     opts: &LuCrtpOpts,
     mut ilut: Option<IlutState>,
     hooks: Option<&crate::RecoveryHooks<'_>>,
-) -> LuCrtpResult {
+) -> Result<LuCrtpResult, InvalidInput> {
     let m = a.rows();
     let n = a.cols();
     let par = opts.par;
+    lra_obs::metrics::global().set_gauge(
+        "kernel.numerics_mode",
+        if opts.numerics.is_fast() { 1.0 } else { 0.0 },
+    );
     let mut timers = KernelTimers::new();
     let a_norm_f = a.fro_norm();
     let stop = opts.tau * a_norm_f;
     let rank_cap = opts.max_rank.unwrap_or(usize::MAX).min(m.min(n));
     if a_norm_f == 0.0 {
         // The zero matrix is its own rank-0 approximation.
-        return LuCrtpResult {
+        return Ok(LuCrtpResult {
             l: CscMatrix::zeros(m, 0),
             u: CscMatrix::zeros(0, n),
             pivot_rows: Vec::new(),
@@ -539,7 +587,7 @@ fn drive(
                 control_triggered: s.control_triggered,
             }),
             mem: None,
-        };
+        });
     }
 
     // Kernel scratch reused across all iterations (transpose targets,
@@ -561,7 +609,10 @@ fn drive(
     let mut indicator = a_norm_f;
     let mut r11 = 0.0f64;
 
-    let resume = hooks.and_then(|h| crate::checkpoint::load_resume(h, m, n, ilut.is_some()));
+    let resume = match hooks {
+        Some(h) => crate::checkpoint::load_resume(h, m, n, ilut.is_some(), opts.numerics)?,
+        None => None,
+    };
     if let Some(ck) = resume {
         // Continue from the snapshot as if never interrupted. The
         // snapshot's column map already reflects the fill-reducing
@@ -614,7 +665,7 @@ fn drive(
 
         // Line 5: column tournament.
         let sel = timers.time(KernelId::ColTournament, || {
-            tournament_columns(&s, None, k_want, opts.tree, par)
+            tournament_columns_mode(&s, None, k_want, opts.tree, par, opts.numerics)
         });
         if iterations == 0 {
             r11 = sel.r_diag.first().copied().unwrap_or(0.0).abs();
@@ -630,7 +681,7 @@ fn drive(
         // of tall-skinny QR for the panel factorization).
         let (qk, panel_r_diag) = timers.time(KernelId::PanelQr, || {
             let panel = s.gather_columns_dense(&sel.selected);
-            let f = lra_dense::tsqr(&panel, par);
+            let f = lra_dense::tsqr_mode(&panel, par, opts.numerics);
             let rd: Vec<f64> = (0..k_eff.min(f.r.rows()))
                 .map(|i| f.r.get(i, i).abs())
                 .collect();
@@ -647,7 +698,7 @@ fn drive(
 
         // Line 7: row tournament on Q_k^T.
         let rows = timers.time(KernelId::RowTournament, || {
-            tournament_rows_dense(&qk, k_eff, opts.tree, par)
+            tournament_rows_dense_mode(&qk, k_eff, opts.tree, par, opts.numerics)
         });
         if rows.len() < k_eff {
             breakdown = Some(Breakdown::RankExhausted);
@@ -672,7 +723,16 @@ fn drive(
 
         // Line 12: Schur complement.
         let (mut s_next, schur_dense_cols) = timers.time(KernelId::Schur, || {
-            schur_update(&a22, &x_rows, &xt, &a12, opts.dense_switch, &mut ws, par)
+            schur_update(
+                &a22,
+                &x_rows,
+                &xt,
+                &a12,
+                opts.dense_switch,
+                &mut ws,
+                par,
+                opts.numerics,
+            )
         });
         dense_cols_total += schur_dense_cols;
 
@@ -718,7 +778,9 @@ fn drive(
 
         // Line 13: error indicator (eq. 9 / 26) — evaluated before any
         // thresholding, exactly as Algorithm 3 orders lines 7 and 8.
-        indicator = timers.time(KernelId::Indicator, || s_next.fro_norm());
+        indicator = timers.time(KernelId::Indicator, || {
+            schur_fro_norm(&s_next, opts.numerics)
+        });
         if !indicator.is_finite() {
             lra_recover::record_guard_trip(format!(
                 "non-finite error indicator at iteration {iterations}"
@@ -837,6 +899,7 @@ fn drive(
                         dropped: st.dropped,
                         control_triggered: st.control_triggered,
                     }),
+                    opts.numerics,
                 );
                 crate::checkpoint::save_snapshot(h, &ck);
             }
@@ -858,7 +921,7 @@ fn drive(
         lra_obs::metrics::global().set_gauge("kernel.dense_switch", dense_cols_total as f64);
     }
 
-    LuCrtpResult {
+    Ok(LuCrtpResult {
         l,
         u,
         pivot_rows: pivot_rows_glob,
@@ -880,6 +943,21 @@ fn drive(
             control_triggered: s.control_triggered,
         }),
         mem: None,
+    })
+}
+
+/// Mode-dispatched Frobenius norm of a Schur complement. Bitwise mode
+/// keeps the historical flat left-to-right accumulation
+/// ([`CscMatrix::fro_norm`]); Fast mode tree-reduces within each
+/// column and across the per-column partials. The reduction shape
+/// depends only on the matrix dimensions, never on the worker count,
+/// so Fast stays deterministic for a fixed input.
+pub(crate) fn schur_fro_norm(s: &CscMatrix, numerics: Numerics) -> f64 {
+    if numerics.is_fast() {
+        let parts: Vec<f64> = (0..s.cols()).map(|j| pairwise_sum_sq(s.col(j).1)).collect();
+        pairwise_sum(&parts).sqrt()
+    } else {
+        s.fro_norm()
     }
 }
 
@@ -989,6 +1067,7 @@ impl SchurWorkspace {
 /// Parallel over output columns; this is where LU_CRTP's fill-in
 /// materializes. Also returns the number of columns the fill-aware
 /// hybrid routed through the dense scatter path.
+#[allow(clippy::too_many_arguments)]
 fn schur_update(
     a22: &CscMatrix,
     x_rows: &[usize],
@@ -997,13 +1076,14 @@ fn schur_update(
     dense_switch: Option<f64>,
     ws: &mut SchurWorkspace,
     par: Parallelism,
+    numerics: Numerics,
 ) -> (CscMatrix, u64) {
     let m = a22.rows();
     let n = a22.cols();
     debug_assert_eq!(a12.cols(), n);
     debug_assert_eq!(a12.rows(), xt.rows());
     let (lens, rowidx, values, dense_cols) =
-        schur_update_ranged(a22, x_rows, xt, a12, 0..n, dense_switch, ws, par);
+        schur_update_ranged(a22, x_rows, xt, a12, 0..n, dense_switch, ws, par, numerics);
     let mut colptr = Vec::with_capacity(n + 1);
     colptr.push(0);
     let mut run = 0;
@@ -1038,9 +1118,10 @@ pub(crate) fn schur_update_ranged(
     dense_switch: Option<f64>,
     ws: &mut SchurWorkspace,
     par: Parallelism,
+    numerics: Numerics,
 ) -> (Vec<usize>, Vec<usize>, Vec<f64>, u64) {
     if !par.is_parallel() {
-        return schur_update_cols(a22, x_rows, xt, a12, range, dense_switch, ws);
+        return schur_update_cols(a22, x_rows, xt, a12, range, dense_switch, ws, numerics);
     }
     type Partial = (Vec<usize>, Vec<usize>, Vec<f64>, u64);
     let lo = range.start;
@@ -1059,6 +1140,7 @@ pub(crate) fn schur_update_ranged(
                 lo + r.start..lo + r.end,
                 dense_switch,
                 &mut chunk_ws,
+                numerics,
             )
         },
         |mut acc, part| {
@@ -1085,6 +1167,7 @@ pub(crate) fn schur_update_ranged(
 /// and emit rows ascending with the same drop-exact-zero rule, so the
 /// result is bitwise independent of the threshold — the property the
 /// sharded-vs-replicated oracle tests rely on.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn schur_update_cols(
     a22: &CscMatrix,
     x_rows: &[usize],
@@ -1093,10 +1176,12 @@ pub(crate) fn schur_update_cols(
     range: std::ops::Range<usize>,
     dense_switch: Option<f64>,
     ws: &mut SchurWorkspace,
+    numerics: Numerics,
 ) -> (Vec<usize>, Vec<usize>, Vec<f64>, u64) {
     let m = a22.rows();
     let k = xt.rows();
     let nr = x_rows.len();
+    let fast = numerics.is_fast();
     ws.corr.clear();
     ws.corr.resize(nr, 0.0);
     let mut lens = Vec::with_capacity(range.len());
@@ -1126,11 +1211,19 @@ pub(crate) fn schur_update_cols(
             }
             for (q, &r) in x_rows.iter().enumerate() {
                 // corr[q] = sum_t a12[t, j] * xt[t, q] over column q of
-                // xt (contiguous), fused with its application.
+                // xt (contiguous), fused with its application. Fast
+                // mode fuses each step (the same chain the sparse path
+                // below replays, so hybrid == sparse holds per mode).
                 let xtc = &xt_data[q * k..q * k + k];
                 let mut acc = 0.0;
-                for (&t, &v) in ti.iter().zip(tv) {
-                    acc += v * xtc[t];
+                if fast {
+                    for (&t, &v) in ti.iter().zip(tv) {
+                        acc = v.mul_add(xtc[t], acc);
+                    }
+                } else {
+                    for (&t, &v) in ti.iter().zip(tv) {
+                        acc += v * xtc[t];
+                    }
                 }
                 spa.apply_sub(r, acc);
             }
@@ -1139,8 +1232,14 @@ pub(crate) fn schur_update_cols(
             for (q, cr) in ws.corr.iter_mut().enumerate() {
                 let xtc = &xt_data[q * k..q * k + k];
                 let mut acc = 0.0;
-                for (&t, &v) in ti.iter().zip(tv) {
-                    acc += v * xtc[t];
+                if fast {
+                    for (&t, &v) in ti.iter().zip(tv) {
+                        acc = v.mul_add(xtc[t], acc);
+                    }
+                } else {
+                    for (&t, &v) in ti.iter().zip(tv) {
+                        acc += v * xtc[t];
+                    }
                 }
                 *cr = acc;
             }

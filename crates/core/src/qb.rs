@@ -7,7 +7,10 @@
 //! reallocating the accumulated factors.
 
 use crate::timers::{KernelId, KernelTimers};
-use lra_dense::{matmul, matmul_sub_assign, matmul_tn, orth, DenseMatrix};
+use lra_dense::{
+    matmul_mode, matmul_sub_assign, matmul_sub_assign_mode, matmul_tn_mode, orth, pairwise_sum_sq,
+    DenseMatrix, Numerics,
+};
 use lra_par::Parallelism;
 use lra_sparse::{spmm_dense, spmm_t_dense, CscMatrix};
 use rand::rngs::StdRng;
@@ -33,6 +36,12 @@ pub struct QbOpts {
     pub par: Parallelism,
     /// Optional rank cap.
     pub max_rank: Option<usize>,
+    /// Kernel numerics mode: [`Numerics::Bitwise`] (default) replays
+    /// the historical FMA-free kernels; [`Numerics::Fast`] opts into
+    /// fused multiply-add GEMM corrections and tree-reduced block
+    /// norms (still deterministic for a fixed input — see the
+    /// `lra-dense` [`Numerics`] docs).
+    pub numerics: Numerics,
 }
 
 impl QbOpts {
@@ -45,6 +54,7 @@ impl QbOpts {
             seed: 0x5EED,
             par: Parallelism::SEQ,
             max_rank: None,
+            numerics: Numerics::Bitwise,
         }
     }
 
@@ -71,6 +81,12 @@ impl QbOpts {
         self.max_rank = Some(max_rank);
         self
     }
+
+    /// Builder-style numerics mode.
+    pub fn with_numerics(mut self, numerics: Numerics) -> Self {
+        self.numerics = numerics;
+        self
+    }
 }
 
 /// Errors from [`rand_qb_ei`].
@@ -82,6 +98,15 @@ pub enum QbError {
         /// The requested tolerance.
         tau: f64,
     },
+    /// A checkpoint written under one [`Numerics`] mode cannot resume
+    /// under another: the spliced run would mix rounding regimes and
+    /// the bitwise-within-mode resume guarantee would be lost.
+    NumericsModeMismatch {
+        /// Mode recorded in the store's snapshot.
+        stored: Numerics,
+        /// Mode the resuming run requested.
+        requested: Numerics,
+    },
 }
 
 impl std::fmt::Display for QbError {
@@ -92,6 +117,11 @@ impl std::fmt::Display for QbError {
                 "tau = {tau:e} is below the RandQB_EI error-indicator floor {QB_INDICATOR_FLOOR:e} \
                  (Theorem 3 of Yu et al.): the Frobenius-difference indicator cannot certify it \
                  in double precision"
+            ),
+            QbError::NumericsModeMismatch { stored, requested } => write!(
+                f,
+                "checkpoint was written in {stored} numerics mode but the resume requested \
+                 {requested}; resume in the stored mode or clear the store"
             ),
         }
     }
@@ -199,6 +229,11 @@ fn rand_qb_ei_inner(
     let n = a.cols();
     let k = opts.k.min(m).min(n).max(1);
     let par = opts.par;
+    let numerics = opts.numerics;
+    lra_obs::metrics::global().set_gauge(
+        "kernel.numerics_mode",
+        if numerics.is_fast() { 1.0 } else { 0.0 },
+    );
     let mut timers = KernelTimers::new();
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
@@ -231,7 +266,7 @@ fn rand_qb_ei_inner(
     let mut draws = 0u64;
 
     if let Some(h) = hooks {
-        if let Some(ck) = crate::checkpoint::load_qb_resume(h, m, n) {
+        if let Some(ck) = crate::checkpoint::load_qb_resume(h, m, n, numerics)? {
             // Replay the RNG to just past the snapshot point so the
             // continued sketch stream matches an uninterrupted run.
             for _ in 0..ck.rng_draws {
@@ -258,8 +293,8 @@ fn rand_qb_ei_inner(
             if !q_blocks.is_empty() {
                 // Y -= Q_K (B_K Ω), blockwise.
                 for (qb, bb) in q_blocks.iter().zip(&b_blocks) {
-                    let t = matmul(bb, &omega, par);
-                    matmul_sub_assign(&mut y, qb, &t, par);
+                    let t = matmul_mode(bb, &omega, par, numerics);
+                    matmul_sub_assign_mode(&mut y, qb, &t, par, numerics);
                 }
             }
             y
@@ -272,17 +307,17 @@ fn rand_qb_ei_inner(
                 // Q̂ = orth(A^T Q_k - B_K^T (Q_K^T Q_k))
                 let mut z = spmm_t_dense(a, &qk, par);
                 for (qb, bb) in q_blocks.iter().zip(&b_blocks) {
-                    let t = matmul_tn(qb, &qk, par);
+                    let t = matmul_tn_mode(qb, &qk, par, numerics);
                     // z -= B_j^T t  (B_j^T is n x kk_block)
                     let bt = bb.transpose();
-                    matmul_sub_assign(&mut z, &bt, &t, par);
+                    matmul_sub_assign_mode(&mut z, &bt, &t, par, numerics);
                 }
                 let qhat = orth(&z, par);
                 // Q_k = orth(A Q̂ - Q_K (B_K Q̂))
                 let mut w = spmm_dense(a, &qhat, par);
                 for (qb, bb) in q_blocks.iter().zip(&b_blocks) {
-                    let t = matmul(bb, &qhat, par);
-                    matmul_sub_assign(&mut w, qb, &t, par);
+                    let t = matmul_mode(bb, &qhat, par, numerics);
+                    matmul_sub_assign_mode(&mut w, qb, &t, par, numerics);
                 }
                 qk = orth(&w, par);
             });
@@ -292,8 +327,8 @@ fn rand_qb_ei_inner(
         timers.time(KernelId::Orth, || {
             if !q_blocks.is_empty() {
                 for qb in &q_blocks {
-                    let t = matmul_tn(qb, &qk, par);
-                    matmul_sub_assign(&mut qk, qb, &t, par);
+                    let t = matmul_tn_mode(qb, &qk, par, numerics);
+                    matmul_sub_assign_mode(&mut qk, qb, &t, par, numerics);
                 }
                 qk = orth(&qk, par);
             }
@@ -304,8 +339,14 @@ fn rand_qb_ei_inner(
             spmm_t_dense(a, &qk, par).transpose()
         });
 
-        // Lines 12-14: expand, update the indicator, test.
-        let bk_norm_sq = bk.fro_norm_sq();
+        // Lines 12-14: expand, update the indicator, test. Fast mode
+        // tree-reduces the block norm; the reduction shape depends
+        // only on the block size, so it stays worker-count invariant.
+        let bk_norm_sq = if numerics.is_fast() {
+            pairwise_sum_sq(bk.as_slice())
+        } else {
+            bk.fro_norm_sq()
+        };
         if !bk_norm_sq.is_finite() {
             // A NaN/Inf sketch would silently corrupt every later
             // block; stop here with the factors accumulated so far.
@@ -341,6 +382,7 @@ fn rand_qb_ei_inner(
                     q_blocks: q_blocks.clone(),
                     b_blocks: b_blocks.clone(),
                     rng_draws: draws,
+                    numerics,
                 };
                 crate::checkpoint::save_qb_snapshot(h, &ck);
             }

@@ -33,6 +33,16 @@
 //! the bitwise oracle for the sharded driver (same column partition,
 //! same arithmetic order, same reduction trees) and the reference the
 //! tests compare against.
+//!
+//! Numerics modes: `opts.numerics` reaches the Schur-update kernel
+//! (FMA correction dots in `Fast`) and the error-indicator partials
+//! (tree-reduced per-column sums in `Fast`) in *both* drivers, over
+//! the *same* column partition — so sharded vs. replicated stays
+//! bitwise-identical within either mode. The SPMD tournament and the
+//! allgather-based panel TSQR keep their bitwise kernels in both
+//! modes: their arithmetic is shaped by the rank grid, and keeping
+//! them fixed is what lets a `Fast` run remain reproducible across
+//! resume and redistribution paths.
 
 use crate::lucrtp::{
     schur_update_ranged, validate_matrix, Breakdown, DropStrategy, IlutOpts, InvalidInput,
@@ -40,7 +50,7 @@ use crate::lucrtp::{
 };
 use crate::timers::KernelTimers;
 use lra_comm::{CommError, Ctx, RunConfig};
-use lra_dense::{lu, qr, DenseMatrix, LuFactor};
+use lra_dense::{lu, pairwise_sum_sq, qr, DenseMatrix, LuFactor, Numerics};
 use lra_ordering::fill_reducing_order;
 use lra_par::{owned_range, split_ranges, Parallelism};
 use lra_qrtp::{
@@ -60,7 +70,7 @@ use std::ops::Range;
 /// complement resident (see the module docs); the result's `mem`
 /// field reports the peak per-rank shard storage.
 pub fn lu_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
-    lu_crtp_spmd_checkpointed(ctx, a, opts, None)
+    lu_crtp_spmd_checkpointed(ctx, a, opts, None).expect("no hooks, so no resume mode mismatch")
 }
 
 /// [`lu_crtp_spmd`] with iteration checkpointing: at the end of each
@@ -75,7 +85,7 @@ pub fn lu_crtp_spmd_checkpointed(
     a: &CscMatrix,
     opts: &LuCrtpOpts,
     hooks: Option<&crate::RecoveryHooks<'_>>,
-) -> LuCrtpResult {
+) -> Result<LuCrtpResult, InvalidInput> {
     lra_obs::trace::span("lu_crtp_spmd", || drive_spmd_sharded(ctx, a, opts, None, hooks))
 }
 
@@ -85,7 +95,7 @@ pub fn lu_crtp_spmd_checkpointed(
 /// are combined through a fixed allreduce tree, so all ranks agree on
 /// the threshold bookkeeping bit for bit.
 pub fn ilut_crtp_spmd(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
-    ilut_crtp_spmd_checkpointed(ctx, a, opts, None)
+    ilut_crtp_spmd_checkpointed(ctx, a, opts, None).expect("no hooks, so no resume mode mismatch")
 }
 
 /// [`ilut_crtp_spmd`] with iteration checkpointing (see
@@ -95,7 +105,7 @@ pub fn ilut_crtp_spmd_checkpointed(
     a: &CscMatrix,
     opts: &IlutOpts,
     hooks: Option<&crate::RecoveryHooks<'_>>,
-) -> LuCrtpResult {
+) -> Result<LuCrtpResult, InvalidInput> {
     let state = SpmdIlutState {
         cfg: opts.clone(),
         mu: 0.0,
@@ -118,6 +128,7 @@ pub fn ilut_crtp_spmd_checkpointed(
 pub fn lu_crtp_spmd_replicated(ctx: &Ctx, a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
     lra_obs::trace::span("lu_crtp_spmd_replicated", || {
         drive_spmd_replicated(ctx, a, opts, None, None)
+            .expect("no hooks, so no resume mode mismatch")
     })
 }
 
@@ -135,6 +146,7 @@ pub fn ilut_crtp_spmd_replicated(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> L
     };
     lra_obs::trace::span("ilut_crtp_spmd_replicated", || {
         drive_spmd_replicated(ctx, a, &opts.base, Some(state), None)
+            .expect("no hooks, so no resume mode mismatch")
     })
 }
 
@@ -222,6 +234,10 @@ struct SpmdPanelCtx<'a> {
     /// Fill-aware hybrid threshold for the Schur kernel
     /// (`opts.dense_switch`).
     dense_switch: Option<f64>,
+    /// Kernel numerics mode (`opts.numerics`): reaches the Schur
+    /// update and the indicator partials; the distributed tournament
+    /// and panel TSQR stay bitwise in both modes (module docs).
+    numerics: Numerics,
     /// Columns this rank routed through the dense scatter path.
     dense_cols: u64,
     /// Kernel scratch reused across iterations (transpose target,
@@ -238,6 +254,7 @@ impl<'a> SpmdPanelCtx<'a> {
         n_cur: usize,
         par: Parallelism,
         dense_switch: Option<f64>,
+        numerics: Numerics,
     ) -> Self {
         let mut eng = SpmdPanelCtx {
             ctx,
@@ -247,6 +264,7 @@ impl<'a> SpmdPanelCtx<'a> {
             n_cur,
             par,
             dense_switch,
+            numerics,
             dense_cols: 0,
             ws: SchurWorkspace::new(),
             peak_bytes: 0,
@@ -264,10 +282,18 @@ impl<'a> SpmdPanelCtx<'a> {
         s: &CscMatrix,
         par: Parallelism,
         dense_switch: Option<f64>,
+        numerics: Numerics,
     ) -> Self {
         let ranges = split_ranges(s.cols(), ctx.size());
         let my = owned_range(&ranges, ctx.rank());
-        Self::new(ctx, ColSlice::from_full(s, my), s.cols(), par, dense_switch)
+        Self::new(
+            ctx,
+            ColSlice::from_full(s, my),
+            s.cols(),
+            par,
+            dense_switch,
+            numerics,
+        )
     }
 
     fn note_mem(&mut self) {
@@ -524,6 +550,7 @@ impl<'a> SpmdPanelCtx<'a> {
             self.dense_switch,
             &mut self.ws,
             self.par,
+            self.numerics,
         );
         self.dense_cols += dc;
         let mut colptr = Vec::with_capacity(lens.len() + 1);
@@ -569,11 +596,22 @@ impl<'a> SpmdPanelCtx<'a> {
 
     /// Error indicator `||A^(i+1)||_F`: partial squared norm of the
     /// owned shard + allreduce — the same per-column summation nesting
-    /// and reduction tree as the replicated oracle.
+    /// and reduction tree as the replicated oracle. In `Fast` mode the
+    /// per-column sums are tree-reduced ([`pairwise_sum_sq`]) and the
+    /// cross-column accumulation stays ascending, again matching the
+    /// replicated oracle's `Fast` partials column for column.
     fn indicator(&self) -> f64 {
-        self.ctx
-            .allreduce(self.shard.fro_norm_sq_cols(), |x, y| x + y)
-            .sqrt()
+        let local = if self.numerics.is_fast() {
+            let loc = self.shard.local();
+            let mut acc = 0.0f64;
+            for j in 0..loc.cols() {
+                acc += pairwise_sum_sq(loc.col(j).1);
+            }
+            acc
+        } else {
+            self.shard.fro_norm_sq_cols()
+        };
+        self.ctx.allreduce(local, |x, y| x + y).sqrt()
     }
 
     /// Global nnz of the distributed Schur complement (exact — integer
@@ -694,6 +732,7 @@ impl<'a> SpmdPanelCtx<'a> {
                     dropped: st.dropped,
                     control_triggered: st.control_triggered,
                 }),
+                self.numerics,
             );
             crate::checkpoint::save_snapshot(h, &ck);
         }
@@ -721,17 +760,23 @@ fn drive_spmd_sharded(
     opts: &LuCrtpOpts,
     mut ilut: Option<SpmdIlutState>,
     hooks: Option<&crate::RecoveryHooks<'_>>,
-) -> LuCrtpResult {
+) -> Result<LuCrtpResult, InvalidInput> {
     let m = a.rows();
     let n = a.cols();
     let size = ctx.size();
     let rank = ctx.rank();
+    if rank == 0 {
+        lra_obs::metrics::global().set_gauge(
+            "kernel.numerics_mode",
+            if opts.numerics.is_fast() { 1.0 } else { 0.0 },
+        );
+    }
     let mut timers = KernelTimers::new();
     let a_norm_f = a.fro_norm();
     let stop = opts.tau * a_norm_f;
     let rank_cap = opts.max_rank.unwrap_or(usize::MAX).min(m.min(n));
     if a_norm_f == 0.0 {
-        return LuCrtpResult {
+        return Ok(LuCrtpResult {
             l: CscMatrix::zeros(m, 0),
             u: CscMatrix::zeros(0, n),
             pivot_rows: Vec::new(),
@@ -747,7 +792,7 @@ fn drive_spmd_sharded(
             timers,
             threshold: ilut.map(|st| st.report()),
             mem: Some(MemStats::default()),
-        };
+        });
     }
 
     let mut row_map: Vec<usize>;
@@ -769,7 +814,10 @@ fn drive_spmd_sharded(
     // Resume: every rank loads the same shared store and re-slices its
     // own shard for the *current* rank count — a snapshot written by a
     // larger grid redistributes here with no extra communication.
-    let resume = hooks.and_then(|h| crate::checkpoint::load_resume(h, m, n, ilut.is_some()));
+    let resume = match hooks {
+        Some(h) => crate::checkpoint::load_resume(h, m, n, ilut.is_some(), opts.numerics)?,
+        None => None,
+    };
     let mut eng: SpmdPanelCtx<'_>;
     if let Some(ck) = resume {
         row_map = ck.row_map;
@@ -792,7 +840,7 @@ fn drive_spmd_sharded(
             st.dropped = ick.dropped;
             st.control_triggered = ick.control_triggered;
         }
-        eng = SpmdPanelCtx::from_full(ctx, &ck.s, opts.par, opts.dense_switch);
+        eng = SpmdPanelCtx::from_full(ctx, &ck.s, opts.par, opts.dense_switch, opts.numerics);
     } else {
         // Preprocessing on rank 0, broadcast (COLAMD is intrinsically
         // sequential — "we apply COLAMD as a preprocessing step").
@@ -818,6 +866,7 @@ fn drive_spmd_sharded(
             n,
             opts.par,
             opts.dense_switch,
+            opts.numerics,
         );
         row_map = (0..m).collect();
         col_map = initial_cols;
@@ -1046,7 +1095,7 @@ fn drive_spmd_sharded(
         };
         ctx.broadcast(0, pair)
     };
-    LuCrtpResult {
+    Ok(LuCrtpResult {
         l,
         u,
         pivot_rows: pivot_rows_glob,
@@ -1062,7 +1111,7 @@ fn drive_spmd_sharded(
         timers,
         threshold: ilut.map(|st| st.report()),
         mem: Some(mem),
-    }
+    })
 }
 
 #[allow(clippy::too_many_lines)]
@@ -1072,17 +1121,23 @@ fn drive_spmd_replicated(
     opts: &LuCrtpOpts,
     mut ilut: Option<SpmdIlutState>,
     hooks: Option<&crate::RecoveryHooks<'_>>,
-) -> LuCrtpResult {
+) -> Result<LuCrtpResult, InvalidInput> {
     let m = a.rows();
     let n = a.cols();
     let size = ctx.size();
     let rank = ctx.rank();
+    if rank == 0 {
+        lra_obs::metrics::global().set_gauge(
+            "kernel.numerics_mode",
+            if opts.numerics.is_fast() { 1.0 } else { 0.0 },
+        );
+    }
     let mut timers = KernelTimers::new();
     let a_norm_f = a.fro_norm();
     let stop = opts.tau * a_norm_f;
     let rank_cap = opts.max_rank.unwrap_or(usize::MAX).min(m.min(n));
     if a_norm_f == 0.0 {
-        return LuCrtpResult {
+        return Ok(LuCrtpResult {
             l: CscMatrix::zeros(m, 0),
             u: CscMatrix::zeros(0, n),
             pivot_rows: Vec::new(),
@@ -1098,7 +1153,7 @@ fn drive_spmd_replicated(
             timers,
             threshold: ilut.map(|st| st.report()),
             mem: None,
-        };
+        });
     }
 
     let mut s: CscMatrix;
@@ -1121,7 +1176,10 @@ fn drive_spmd_replicated(
     // Resume: every rank loads the same shared store, so all ranks
     // restore the identical (replicated) snapshot — consistency needs
     // no extra collective.
-    let resume = hooks.and_then(|h| crate::checkpoint::load_resume(h, m, n, ilut.is_some()));
+    let resume = match hooks {
+        Some(h) => crate::checkpoint::load_resume(h, m, n, ilut.is_some(), opts.numerics)?,
+        None => None,
+    };
     if let Some(ck) = resume {
         s = ck.s;
         row_map = ck.row_map;
@@ -1327,6 +1385,7 @@ fn drive_spmd_replicated(
                 opts.dense_switch,
                 &mut schur_ws,
                 opts.par,
+                opts.numerics,
             );
             let parts: Vec<(Vec<usize>, Vec<usize>, Vec<f64>)> =
                 ctx.allgather((lens_p, rows_p, vals_p));
@@ -1391,7 +1450,13 @@ fn drive_spmd_replicated(
             let mut local = 0.0f64;
             for j in my_range {
                 let (_, vs) = s_next.col(j);
-                local += vs.iter().map(|v| v * v).sum::<f64>();
+                // Same per-column chains as the sharded driver's
+                // partials (tree-reduced in Fast, flat in Bitwise).
+                local += if opts.numerics.is_fast() {
+                    pairwise_sum_sq(vs)
+                } else {
+                    vs.iter().map(|v| v * v).sum::<f64>()
+                };
             }
             ctx.allreduce(local, |a, b| a + b).sqrt()
         });
@@ -1517,6 +1582,7 @@ fn drive_spmd_replicated(
                         dropped: st.dropped,
                         control_triggered: st.control_triggered,
                     }),
+                    opts.numerics,
                 );
                 crate::checkpoint::save_snapshot(h, &ck);
             }
@@ -1541,7 +1607,7 @@ fn drive_spmd_replicated(
         }
         b.finish().transpose()
     };
-    LuCrtpResult {
+    Ok(LuCrtpResult {
         l,
         u,
         pivot_rows: pivot_rows_glob,
@@ -1557,7 +1623,7 @@ fn drive_spmd_replicated(
         timers,
         threshold: ilut.map(|st| st.report()),
         mem: None,
-    }
+    })
 }
 
 /// Convenience wrapper: run [`lu_crtp_spmd`] on `np` ranks and return

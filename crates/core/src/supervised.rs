@@ -97,6 +97,10 @@ pub fn lu_crtp_supervised_with_store(
     opts.validate()?;
     validate_matrix(a)?;
     let hooks = RecoveryHooks::new(store, ckpt_every);
+    // Preflight the store's numerics mode once at the API boundary, so
+    // a mismatched caller-owned store surfaces as a typed error here
+    // instead of repeated rank failures inside the recovery ladder.
+    crate::checkpoint::load_resume(&hooks, a.rows(), a.cols(), false, opts.numerics)?;
     run_supervised(
         np,
         config,
@@ -104,9 +108,15 @@ pub fn lu_crtp_supervised_with_store(
         |np, cfg, _| {
             lra_comm::run_with(np, cfg, |ctx| {
                 lu_crtp_spmd_checkpointed(ctx, a, opts, Some(&hooks))
+                    .expect("numerics mode preflighted at the supervised boundary")
             })
         },
-        || Some(lu_crtp_checkpointed(a, opts, Some(&hooks))),
+        || {
+            Some(
+                lu_crtp_checkpointed(a, opts, Some(&hooks))
+                    .expect("numerics mode preflighted at the supervised boundary"),
+            )
+        },
     )
     .map_err(SupervisedError::Recovery)
 }
@@ -142,6 +152,8 @@ pub fn ilut_crtp_supervised_with_store(
     opts.validate()?;
     validate_matrix(a)?;
     let hooks = RecoveryHooks::new(store, ckpt_every);
+    // Same boundary preflight as `lu_crtp_supervised_with_store`.
+    crate::checkpoint::load_resume(&hooks, a.rows(), a.cols(), true, opts.base.numerics)?;
     run_supervised(
         np,
         config,
@@ -149,9 +161,15 @@ pub fn ilut_crtp_supervised_with_store(
         |np, cfg, _| {
             lra_comm::run_with(np, cfg, |ctx| {
                 ilut_crtp_spmd_checkpointed(ctx, a, opts, Some(&hooks))
+                    .expect("numerics mode preflighted at the supervised boundary")
             })
         },
-        || Some(ilut_crtp_checkpointed(a, opts, Some(&hooks))),
+        || {
+            Some(
+                ilut_crtp_checkpointed(a, opts, Some(&hooks))
+                    .expect("numerics mode preflighted at the supervised boundary"),
+            )
+        },
     )
     .map_err(SupervisedError::Recovery)
 }

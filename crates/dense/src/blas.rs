@@ -22,6 +22,7 @@
 //! oracle while the kernels go fast; it is pinned by a property test in
 //! `tests/blocked_kernels.rs`.
 
+use crate::numerics::Numerics;
 use crate::DenseMatrix;
 use lra_par::{parallel_for, Parallelism};
 
@@ -30,29 +31,59 @@ use lra_par::{parallel_for, Parallelism};
 const MR: usize = 8;
 /// Register-tile width: output columns sharing each loaded `A` block.
 const NR: usize = 4;
+/// Column-block width for the packed `B` panel: the blocked driver
+/// packs [`NC`] output columns at a time and sweeps the `A` row panels
+/// *outside* the tile loop, so each 32 KiB `A` panel is read from
+/// memory once per block instead of once per 4-column tile. Sized so
+/// the packed block (`NC * k` doubles) stays L2-resident at the
+/// benchmarked `k = 512`.
+const NC: usize = 64;
 /// Grain size (output columns per task) for parallel GEMM loops — a
 /// multiple of [`NR`] so full-width tiles form inside every task.
 const COL_GRAIN: usize = 8;
 
 /// `C = A * B`.
 pub fn matmul(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+    matmul_mode(a, b, par, Numerics::Bitwise)
+}
+
+/// [`matmul`] with an explicit [`Numerics`] mode: `Bitwise` is the
+/// reference kernel, `Fast` routes through the FMA register tiles.
+pub fn matmul_mode(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    par: Parallelism,
+    numerics: Numerics,
+) -> DenseMatrix {
     assert_eq!(a.cols(), b.rows(), "matmul: inner dimension mismatch");
     let m = a.rows();
     let n = b.cols();
     let mut c = DenseMatrix::zeros(m, n);
-    gemm_blocked::<false>(&mut c, a, par, |j, buf| buf.copy_from_slice(b.col(j)));
+    gemm_blocked::<false>(&mut c, a, par, numerics, |j, buf| {
+        buf.copy_from_slice(b.col(j))
+    });
     c
 }
 
 /// `C = A * B^T`.
 pub fn matmul_nt(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+    matmul_nt_mode(a, b, par, Numerics::Bitwise)
+}
+
+/// [`matmul_nt`] with an explicit [`Numerics`] mode.
+pub fn matmul_nt_mode(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    par: Parallelism,
+    numerics: Numerics,
+) -> DenseMatrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dimension mismatch");
     let m = a.rows();
     let n = b.rows();
     let mut c = DenseMatrix::zeros(m, n);
     // B^T column j is row j of B — gather it once per output column
     // (O(k) against the O(m k) tile work it feeds).
-    gemm_blocked::<false>(&mut c, a, par, |j, buf| {
+    gemm_blocked::<false>(&mut c, a, par, numerics, |j, buf| {
         for (l, slot) in buf.iter_mut().enumerate() {
             *slot = b.get(j, l);
         }
@@ -62,10 +93,21 @@ pub fn matmul_nt(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMat
 
 /// `C -= A * B` in place (used for `A Omega - Q (B Omega)` updates).
 pub fn matmul_sub_assign(c: &mut DenseMatrix, a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) {
+    matmul_sub_assign_mode(c, a, b, par, Numerics::Bitwise)
+}
+
+/// [`matmul_sub_assign`] with an explicit [`Numerics`] mode.
+pub fn matmul_sub_assign_mode(
+    c: &mut DenseMatrix,
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    par: Parallelism,
+    numerics: Numerics,
+) {
     assert_eq!(a.cols(), b.rows());
     assert_eq!(c.rows(), a.rows());
     assert_eq!(c.cols(), b.cols());
-    gemm_blocked::<true>(c, a, par, |j, buf| buf.copy_from_slice(b.col(j)));
+    gemm_blocked::<true>(c, a, par, numerics, |j, buf| buf.copy_from_slice(b.col(j)));
 }
 
 /// `true` when the CPU supports 4-lane AVX2 doubles at runtime (the
@@ -80,6 +122,59 @@ fn have_avx2() -> bool {
     #[cfg(not(target_arch = "x86_64"))]
     {
         false
+    }
+}
+
+/// `true` when the CPU additionally has hardware FMA. The Fast kernels
+/// can take the `avx2,fma` codegen copies without changing results:
+/// `f64::mul_add` and `vfmadd` are the same correctly rounded
+/// operation, so the dispatch stays bitwise-within-mode.
+#[inline]
+fn have_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Which codegen copy of the tile kernel one GEMM call routes through.
+/// Picked once per call from the [`Numerics`] mode and the CPU: the
+/// `Bitwise` lanes share one fp chain (mul then add, naive zero skip),
+/// the `Fast` lanes share another (fused multiply-add, branch-free).
+#[derive(Clone, Copy)]
+enum TileIsa {
+    /// Bitwise chain, baseline codegen.
+    Base,
+    /// Bitwise chain, AVX2 codegen (`fma` off — identical rounding).
+    Avx2,
+    /// Fast chain, baseline codegen (`mul_add`, may call libm fma).
+    FastBase,
+    /// Fast chain, AVX2+FMA codegen (hardware `vfmadd`).
+    FastFma,
+}
+
+impl TileIsa {
+    fn pick(numerics: Numerics) -> TileIsa {
+        match numerics {
+            Numerics::Bitwise => {
+                if have_avx2() {
+                    TileIsa::Avx2
+                } else {
+                    TileIsa::Base
+                }
+            }
+            Numerics::Fast => {
+                if have_fma() {
+                    TileIsa::FastFma
+                } else {
+                    TileIsa::FastBase
+                }
+            }
+        }
     }
 }
 
@@ -101,6 +196,7 @@ fn gemm_blocked<const SUB: bool>(
     c: &mut DenseMatrix,
     a: &DenseMatrix,
     par: Parallelism,
+    numerics: Numerics,
     fill_b: impl Fn(usize, &mut [f64]) + Sync,
 ) {
     let m = c.rows();
@@ -112,7 +208,7 @@ fn gemm_blocked<const SUB: bool>(
         // loops, whose bodies also never run.
         return;
     }
-    let avx2 = have_avx2();
+    let isa = TileIsa::pick(numerics);
     let a_data = a.as_slice();
     let n_panels = m.div_ceil(MR);
     let mut ap = vec![0.0f64; n_panels * MR * k];
@@ -128,58 +224,99 @@ fn gemm_blocked<const SUB: bool>(
     let c_ptr = c.as_mut_slice().as_mut_ptr() as usize;
     parallel_for(par, n, COL_GRAIN, |range| {
         let mut col = vec![0.0f64; k];
-        let mut bt = vec![0.0f64; NR * k];
-        let mut j0 = range.start;
-        while j0 < range.end {
-            let jw = (range.end - j0).min(NR);
-            // Transpose the B tile to k x NR so the tile sweep reads
-            // one contiguous NR-row per `l` (values copied verbatim).
-            bt[..NR * k].fill(0.0);
-            for jj in 0..jw {
-                fill_b(j0 + jj, &mut col);
-                for (l, &v) in col.iter().enumerate() {
-                    bt[l * NR + jj] = v;
+        let mut bt = vec![0.0f64; NC * k];
+        let mut any_zero = [false; NC / NR];
+        let mut jc = range.start;
+        while jc < range.end {
+            // Pack a block of up to NC output columns as k x NR tiles
+            // (tile t at bt[t*NR*k..]) so the panel sweep below reads
+            // one contiguous NR-row per `l` (values copied verbatim),
+            // and scan each tile's active lanes for zeros once — the
+            // bitwise kernel picks its sweep from that flag.
+            let jcw = (range.end - jc).min(NC);
+            let ntiles = jcw.div_ceil(NR);
+            for t in 0..ntiles {
+                let j0 = jc + t * NR;
+                let jw = (jc + jcw - j0).min(NR);
+                let btt = &mut bt[t * NR * k..(t + 1) * NR * k];
+                btt.fill(0.0);
+                for jj in 0..jw {
+                    fill_b(j0 + jj, &mut col);
+                    for (l, &v) in col.iter().enumerate() {
+                        btt[l * NR + jj] = v;
+                    }
+                }
+                let mut az = false;
+                for bl in btt.chunks_exact(NR) {
+                    for &blj in bl.iter().take(jw) {
+                        az |= blj == 0.0;
+                    }
+                }
+                any_zero[t] = az;
+            }
+            // Panel-outer sweep: each packed A panel is streamed once
+            // per column block and reused across all its tiles. Every
+            // output element still accumulates over the full inner
+            // dimension in ascending order inside one tile call, so
+            // the loop order is pure locality — the arithmetic, and
+            // hence the bitwise contract, is untouched.
+            for (p, panel) in ap.chunks_exact(MR * k).enumerate() {
+                let i0 = p * MR;
+                for t in 0..ntiles {
+                    let j0 = jc + t * NR;
+                    let jw = (jc + jcw - j0).min(NR);
+                    let btt = &bt[t * NR * k..(t + 1) * NR * k];
+                    let az = any_zero[t];
+                    // SAFETY: this task owns output columns `range`,
+                    // and the tile at j0 covers jw <= NR of them.
+                    unsafe {
+                        let cp = c_ptr as *mut f64;
+                        match jw {
+                            4 => tile_dispatch::<4, SUB>(isa, cp, m, i0, j0, panel, btt, az),
+                            3 => tile_dispatch::<3, SUB>(isa, cp, m, i0, j0, panel, btt, az),
+                            2 => tile_dispatch::<2, SUB>(isa, cp, m, i0, j0, panel, btt, az),
+                            _ => tile_dispatch::<1, SUB>(isa, cp, m, i0, j0, panel, btt, az),
+                        }
+                    }
                 }
             }
-            // SAFETY: this task owns output columns `range`, and the
-            // tile at j0 covers jw <= NR columns inside it.
-            unsafe {
-                match jw {
-                    4 => tile_dispatch::<4, SUB>(avx2, c_ptr as *mut f64, m, k, j0, &ap, &bt),
-                    3 => tile_dispatch::<3, SUB>(avx2, c_ptr as *mut f64, m, k, j0, &ap, &bt),
-                    2 => tile_dispatch::<2, SUB>(avx2, c_ptr as *mut f64, m, k, j0, &ap, &bt),
-                    _ => tile_dispatch::<1, SUB>(avx2, c_ptr as *mut f64, m, k, j0, &ap, &bt),
-                }
-            }
-            j0 += jw;
+            jc += jcw;
         }
     });
 }
 
-/// Route one tile to the AVX2-compiled copy of [`tile_n`] when the CPU
-/// has it, or the baseline copy otherwise. Both copies run the same
-/// Rust source; the AVX2 one only widens the lanes (the `fma` feature
-/// stays off so every lane rounds mul-then-add exactly like scalar —
-/// this is what keeps the fast path inside the bitwise contract).
+/// Route one tile to the codegen copy selected by [`TileIsa::pick`].
+/// The two `Bitwise` lanes run the same Rust source ([`tile_n`]); the
+/// AVX2 one only widens the lanes (the `fma` feature stays off so every
+/// lane rounds mul-then-add exactly like scalar — this is what keeps
+/// the fast path inside the bitwise contract). The two `Fast` lanes run
+/// [`tile_n_fast`], whose `mul_add` chain is the same correctly rounded
+/// operation under both codegens.
 ///
 /// # Safety
 /// Same contract as [`tile_n`].
+#[allow(clippy::too_many_arguments)]
 #[inline]
 unsafe fn tile_dispatch<const JW: usize, const SUB: bool>(
-    avx2: bool,
+    isa: TileIsa,
     c_ptr: *mut f64,
     m: usize,
-    k: usize,
+    i0: usize,
     j0: usize,
-    ap: &[f64],
+    panel: &[f64],
     bt: &[f64],
+    any_zero: bool,
 ) {
     #[cfg(target_arch = "x86_64")]
-    if avx2 {
-        return tile_n_avx2::<JW, SUB>(c_ptr, m, k, j0, ap, bt);
+    match isa {
+        TileIsa::Avx2 => return tile_n_avx2::<JW, SUB>(c_ptr, m, i0, j0, panel, bt, any_zero),
+        TileIsa::FastFma => return tile_n_fast_fma::<JW, SUB>(c_ptr, m, i0, j0, panel, bt),
+        _ => {}
     }
-    let _ = avx2;
-    tile_n::<JW, SUB>(c_ptr, m, k, j0, ap, bt)
+    match isa {
+        TileIsa::FastBase | TileIsa::FastFma => tile_n_fast::<JW, SUB>(c_ptr, m, i0, j0, panel, bt),
+        _ => tile_n::<JW, SUB>(c_ptr, m, i0, j0, panel, bt, any_zero),
+    }
 }
 
 /// AVX2-compiled copy of [`tile_n`]: the `#[inline(always)]` body is
@@ -192,118 +329,192 @@ unsafe fn tile_dispatch<const JW: usize, const SUB: bool>(
 unsafe fn tile_n_avx2<const JW: usize, const SUB: bool>(
     c_ptr: *mut f64,
     m: usize,
-    k: usize,
+    i0: usize,
     j0: usize,
-    ap: &[f64],
+    panel: &[f64],
     bt: &[f64],
+    any_zero: bool,
 ) {
-    tile_n::<JW, SUB>(c_ptr, m, k, j0, ap, bt)
+    tile_n::<JW, SUB>(c_ptr, m, i0, j0, panel, bt, any_zero)
 }
 
-/// One `JW`-column tile of the blocked `C (-)= A * B'` kernel: sweeps
-/// the row panels of the repacked `A` (see [`gemm_blocked`]), holding
-/// the `MR x JW` accumulator tile in registers while each output
-/// element accumulates over the *full* inner dimension in ascending
-/// order (the bitwise contract), with the per-`(l, j)` zero skip of the
-/// naive reference.
+/// One `MR x JW` tile of the blocked `C (-)= A * B'` kernel against a
+/// single packed `A` row panel (rows `i0..i0+MR`, see
+/// [`gemm_blocked`]), holding the accumulator tile in registers while
+/// each output element accumulates over the *full* inner dimension in
+/// ascending order (the bitwise contract), with the per-`(l, j)` zero
+/// skip of the naive reference. `any_zero` is the caller's pre-scan of
+/// the B tile's active lanes: the zero skip only matters when a zero
+/// is actually present.
 ///
 /// # Safety
 /// `c_ptr` must point to a column-major `m x >= j0+JW` buffer whose
-/// columns `j0..j0+JW` are exclusively owned by the caller; `ap` must
-/// hold `ceil(m/MR)` packed `MR x k` panels and `bt` a `k x NR`\n/// row-major B tile (columns past `JW` ignored).
+/// columns `j0..j0+JW` are exclusively owned by the caller; `panel`
+/// must hold one packed `MR x k` panel covering rows `i0..i0+MR` (with
+/// `i0 < m`, ragged tail zero-padded) and `bt` a `k x NR` row-major B
+/// tile (columns past `JW` ignored); `any_zero` must be true if any
+/// active lane of `bt` is zero.
 #[inline(always)]
 unsafe fn tile_n<const JW: usize, const SUB: bool>(
     c_ptr: *mut f64,
     m: usize,
-    k: usize,
+    i0: usize,
     j0: usize,
-    ap: &[f64],
+    panel: &[f64],
     bt: &[f64],
+    any_zero: bool,
 ) {
-    // One scan over the B tile decides, per tile, whether the branch-
-    // free all-nonzero sweep applies (the per-`(l, j)` zero skip of the
-    // naive reference only matters when a zero is actually present).
-    let mut tile_any_zero = false;
-    for bl in bt.chunks_exact(NR) {
-        for &blj in bl.iter().take(JW) {
-            tile_any_zero |= blj == 0.0;
+    let iw = MR.min(m - i0);
+    // Pad lanes (iw..MR) stay zero end to end: zero-initialized
+    // here, fed zero-padded `A` values in the sweep, skipped on
+    // write-back.
+    let mut acc = [[0.0f64; MR]; JW];
+    if SUB {
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            let cj = c_ptr.add((j0 + jj) * m + i0);
+            for (ii, slot) in accj.iter_mut().take(iw).enumerate() {
+                *slot = *cj.add(ii);
+            }
         }
     }
-    for (p, panel) in ap.chunks_exact(MR * k).enumerate() {
-        let i0 = p * MR;
-        let iw = MR.min(m - i0);
-        // Pad lanes (iw..MR) stay zero end to end: zero-initialized
-        // here, fed zero-padded `A` values in the sweep, skipped on
-        // write-back.
-        let mut acc = [[0.0f64; MR]; JW];
-        if SUB {
+    if !any_zero {
+        // Branch-free sweep: every `blj` is nonzero, so the naive
+        // kernel would never skip — the arithmetic is identical.
+        for (av, bl) in panel.chunks_exact(MR).zip(bt.chunks_exact(NR)) {
+            let av: &[f64; MR] = av.try_into().unwrap();
+            let bl: &[f64; NR] = bl.try_into().unwrap();
             for (jj, accj) in acc.iter_mut().enumerate() {
-                let cj = c_ptr.add((j0 + jj) * m + i0);
-                for (ii, slot) in accj.iter_mut().take(iw).enumerate() {
-                    *slot = *cj.add(ii);
-                }
-            }
-        }
-        if !tile_any_zero {
-            // Branch-free sweep: every `blj` is nonzero, so the naive
-            // kernel would never skip — the arithmetic is identical.
-            for (av, bl) in panel.chunks_exact(MR).zip(bt.chunks_exact(NR)) {
-                let av: &[f64; MR] = av.try_into().unwrap();
-                let bl: &[f64; NR] = bl.try_into().unwrap();
-                for (jj, accj) in acc.iter_mut().enumerate() {
-                    let blj = bl[jj];
-                    if SUB {
-                        for ii in 0..MR {
-                            accj[ii] -= blj * av[ii];
-                        }
-                    } else {
-                        for ii in 0..MR {
-                            accj[ii] += blj * av[ii];
-                        }
+                let blj = bl[jj];
+                if SUB {
+                    for ii in 0..MR {
+                        accj[ii] -= blj * av[ii];
                     }
-                }
-            }
-        } else {
-            // Zero-aware sweep preserving the naive kernel's exact
-            // per-`(l, j)` skip (needed bitwise: `x + 0.0*a` is not
-            // always `x`, e.g. for `-0.0` accumulators or non-finite
-            // `a` — including the zero-padded tail panel lanes).
-            for (av, bl) in panel.chunks_exact(MR).zip(bt.chunks_exact(NR)) {
-                let av: &[f64; MR] = av.try_into().unwrap();
-                let bl: &[f64; NR] = bl.try_into().unwrap();
-                for (jj, accj) in acc.iter_mut().enumerate() {
-                    let blj = bl[jj];
-                    if blj == 0.0 {
-                        continue;
-                    }
-                    if SUB {
-                        for ii in 0..MR {
-                            accj[ii] -= blj * av[ii];
-                        }
-                    } else {
-                        for ii in 0..MR {
-                            accj[ii] += blj * av[ii];
-                        }
+                } else {
+                    for ii in 0..MR {
+                        accj[ii] += blj * av[ii];
                     }
                 }
             }
         }
-        for (jj, accj) in acc.iter().enumerate() {
+    } else {
+        // Zero-aware sweep preserving the naive kernel's exact
+        // per-`(l, j)` skip (needed bitwise: `x + 0.0*a` is not
+        // always `x`, e.g. for `-0.0` accumulators or non-finite
+        // `a` — including the zero-padded tail panel lanes).
+        for (av, bl) in panel.chunks_exact(MR).zip(bt.chunks_exact(NR)) {
+            let av: &[f64; MR] = av.try_into().unwrap();
+            let bl: &[f64; NR] = bl.try_into().unwrap();
+            for (jj, accj) in acc.iter_mut().enumerate() {
+                let blj = bl[jj];
+                if blj == 0.0 {
+                    continue;
+                }
+                if SUB {
+                    for ii in 0..MR {
+                        accj[ii] -= blj * av[ii];
+                    }
+                } else {
+                    for ii in 0..MR {
+                        accj[ii] += blj * av[ii];
+                    }
+                }
+            }
+        }
+    }
+    for (jj, accj) in acc.iter().enumerate() {
+        let cj = c_ptr.add((j0 + jj) * m + i0);
+        for (ii, &v) in accj.iter().take(iw).enumerate() {
+            *cj.add(ii) = v;
+        }
+    }
+}
+
+/// AVX2+FMA-compiled copy of [`tile_n_fast`]: the `mul_add` chains
+/// codegen to hardware `vfmadd` lanes. Same results as the baseline
+/// copy — FMA is correctly rounded either way.
+///
+/// # Safety
+/// Same contract as [`tile_n`]; additionally the CPU must support
+/// AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile_n_fast_fma<const JW: usize, const SUB: bool>(
+    c_ptr: *mut f64,
+    m: usize,
+    i0: usize,
+    j0: usize,
+    panel: &[f64],
+    bt: &[f64],
+) {
+    tile_n_fast::<JW, SUB>(c_ptr, m, i0, j0, panel, bt)
+}
+
+/// Fast-numerics variant of [`tile_n`]: every accumulate is a fused
+/// multiply-add (one rounding), and the sweep is branch-free — the
+/// per-`(l, j)` zero skip of the naive reference is dropped, since the
+/// Fast contract is normwise, not bitwise-vs-naive. Still deterministic
+/// for a fixed input: the k-order is ascending as before and `mul_add`
+/// is correctly rounded under every codegen copy.
+///
+/// # Safety
+/// Same contract as [`tile_n`].
+#[inline(always)]
+unsafe fn tile_n_fast<const JW: usize, const SUB: bool>(
+    c_ptr: *mut f64,
+    m: usize,
+    i0: usize,
+    j0: usize,
+    panel: &[f64],
+    bt: &[f64],
+) {
+    let iw = MR.min(m - i0);
+    // Pad lanes (iw..MR) accumulate `blj * 0.0` harmlessly and are
+    // skipped on write-back, as in the bitwise tile.
+    let mut acc = [[0.0f64; MR]; JW];
+    if SUB {
+        for (jj, accj) in acc.iter_mut().enumerate() {
             let cj = c_ptr.add((j0 + jj) * m + i0);
-            for (ii, &v) in accj.iter().take(iw).enumerate() {
-                *cj.add(ii) = v;
+            for (ii, slot) in accj.iter_mut().take(iw).enumerate() {
+                *slot = *cj.add(ii);
             }
+        }
+    }
+    for (av, bl) in panel.chunks_exact(MR).zip(bt.chunks_exact(NR)) {
+        let av: &[f64; MR] = av.try_into().unwrap();
+        let bl: &[f64; NR] = bl.try_into().unwrap();
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            let blj = if SUB { -bl[jj] } else { bl[jj] };
+            for ii in 0..MR {
+                accj[ii] = blj.mul_add(av[ii], accj[ii]);
+            }
+        }
+    }
+    for (jj, accj) in acc.iter().enumerate() {
+        let cj = c_ptr.add((j0 + jj) * m + i0);
+        for (ii, &v) in accj.iter().take(iw).enumerate() {
+            *cj.add(ii) = v;
         }
     }
 }
 
 /// `C = A^T * B`.
 pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMatrix {
+    matmul_tn_mode(a, b, par, Numerics::Bitwise)
+}
+
+/// [`matmul_tn`] with an explicit [`Numerics`] mode: `Fast` runs the
+/// dot tiles with fused multiply-add chains.
+pub fn matmul_tn_mode(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    par: Parallelism,
+    numerics: Numerics,
+) -> DenseMatrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: inner dimension mismatch");
     let m = a.cols();
     let n = b.cols();
     let inner = a.rows();
-    let avx2 = have_avx2();
+    let isa = TileIsa::pick(numerics);
     let mut c = DenseMatrix::zeros(m, n);
     let a_data = a.as_slice();
     let b_data = b.as_slice();
@@ -312,12 +523,23 @@ pub fn matmul_tn(a: &DenseMatrix, b: &DenseMatrix, par: Parallelism) -> DenseMat
         // SAFETY: this task exclusively owns output columns `range`.
         unsafe {
             #[cfg(target_arch = "x86_64")]
-            if avx2 {
-                tn_range_avx2(c_ptr as *mut f64, m, inner, a_data, b_data, range);
-                return;
+            match isa {
+                TileIsa::Avx2 => {
+                    tn_range_avx2(c_ptr as *mut f64, m, inner, a_data, b_data, range);
+                    return;
+                }
+                TileIsa::FastFma => {
+                    tn_range_fast_fma(c_ptr as *mut f64, m, inner, a_data, b_data, range);
+                    return;
+                }
+                _ => {}
             }
-            let _ = avx2;
-            tn_range(c_ptr as *mut f64, m, inner, a_data, b_data, range);
+            match isa {
+                TileIsa::FastBase | TileIsa::FastFma => {
+                    tn_range_fast(c_ptr as *mut f64, m, inner, a_data, b_data, range)
+                }
+                _ => tn_range(c_ptr as *mut f64, m, inner, a_data, b_data, range),
+            }
         }
     });
     c
@@ -409,6 +631,86 @@ unsafe fn tn_range(
             }
             j0 += jw;
         }
+    }
+}
+
+/// AVX2+FMA-compiled copy of [`tn_range_fast`].
+///
+/// # Safety
+/// Same contract as [`tn_range`]; additionally the CPU must support
+/// AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tn_range_fast_fma(
+    c_ptr: *mut f64,
+    m: usize,
+    inner: usize,
+    a_data: &[f64],
+    b_data: &[f64],
+    range: std::ops::Range<usize>,
+) {
+    tn_range_fast(c_ptr, m, inner, a_data, b_data, range)
+}
+
+/// Fast-numerics variant of [`tn_range`]: the 16 accumulation chains of
+/// the 4x4 dot tile (and the scalar tails) run on fused multiply-adds.
+/// Same ascending-`l` order per chain, one rounding per term.
+///
+/// # Safety
+/// Same contract as [`tn_range`].
+#[inline(always)]
+unsafe fn tn_range_fast(
+    c_ptr: *mut f64,
+    m: usize,
+    inner: usize,
+    a_data: &[f64],
+    b_data: &[f64],
+    range: std::ops::Range<usize>,
+) {
+    let mut j0 = range.start;
+    while j0 < range.end {
+        let jw = (range.end - j0).min(NR);
+        let mut i0 = 0usize;
+        while i0 + NR <= m && jw == NR {
+            let mut acc = [[0.0f64; NR]; NR];
+            let mut ac: [&[f64]; NR] = [&[]; NR];
+            let mut bc: [&[f64]; NR] = [&[]; NR];
+            for (t, (acs, bcs)) in ac.iter_mut().zip(bc.iter_mut()).enumerate() {
+                *acs = &a_data[(i0 + t) * inner..(i0 + t + 1) * inner];
+                *bcs = &b_data[(j0 + t) * inner..(j0 + t + 1) * inner];
+            }
+            for l in 0..inner {
+                for (ii, accrow) in acc.iter_mut().enumerate() {
+                    let ail = ac[ii][l];
+                    for (jj, slot) in accrow.iter_mut().enumerate() {
+                        *slot = ail.mul_add(bc[jj][l], *slot);
+                    }
+                }
+            }
+            for jj in 0..NR {
+                // SAFETY: this task owns output columns `range`.
+                let cj =
+                    unsafe { std::slice::from_raw_parts_mut(c_ptr.add((j0 + jj) * m), m) };
+                for (ii, accrow) in acc.iter().enumerate() {
+                    cj[i0 + ii] = accrow[jj];
+                }
+            }
+            i0 += NR;
+        }
+        for jj in 0..jw {
+            // SAFETY: disjoint output columns within this task.
+            let cj = unsafe { std::slice::from_raw_parts_mut(c_ptr.add((j0 + jj) * m), m) };
+            let bj = &b_data[(j0 + jj) * inner..(j0 + jj + 1) * inner];
+            for (i, ci) in cj.iter_mut().enumerate().skip(i0) {
+                let ai = &a_data[i * inner..(i + 1) * inner];
+                let mut dot = 0.0;
+                for l in 0..inner {
+                    dot = ai[l].mul_add(bj[l], dot);
+                }
+                *ci = dot;
+            }
+        }
+        j0 += jw;
     }
 }
 
@@ -687,6 +989,50 @@ mod tests {
         };
         matmul_sub_assign(&mut c, &a, &b, Parallelism::new(4));
         assert!(c.max_abs_diff(&expected) < 1e-13);
+    }
+
+    #[test]
+    fn fast_mode_matches_bitwise_normwise() {
+        // Fast (FMA, branch-free) vs Bitwise agree to O(k * eps) per
+        // entry, and Fast is deterministic across worker counts (the
+        // bitwise-within-mode property the resume tests rely on).
+        for (m, k, n, seed) in [(9, 5, 7, 30u64), (16, 16, 16, 31), (23, 11, 13, 32)] {
+            let a = rand_mat(m, k, seed);
+            let b = rand_mat(k, n, seed + 100);
+            let tol = 16.0 * k as f64 * f64::EPSILON;
+            let bit = matmul(&a, &b, Parallelism::SEQ);
+            let fast = matmul_mode(&a, &b, Parallelism::SEQ, Numerics::Fast);
+            assert!(fast.max_abs_diff(&bit) <= tol * bit.max_abs().max(1.0));
+            let fast_par = matmul_mode(&a, &b, Parallelism::new(4), Numerics::Fast);
+            assert_bitwise_eq(&fast, &fast_par);
+
+            let at = rand_mat(k, m, seed + 200);
+            let bt = rand_mat(k, n, seed + 300);
+            let tn_bit = matmul_tn(&at, &bt, Parallelism::SEQ);
+            let tn_fast = matmul_tn_mode(&at, &bt, Parallelism::new(3), Numerics::Fast);
+            assert!(tn_fast.max_abs_diff(&tn_bit) <= tol * tn_bit.max_abs().max(1.0));
+
+            let bnt = rand_mat(n, k, seed + 400);
+            let nt_bit = matmul_nt(&a, &bnt, Parallelism::SEQ);
+            let nt_fast = matmul_nt_mode(&a, &bnt, Parallelism::new(2), Numerics::Fast);
+            assert!(nt_fast.max_abs_diff(&nt_bit) <= tol * nt_bit.max_abs().max(1.0));
+
+            let mut c_bit = rand_mat(m, n, seed + 500);
+            let mut c_fast = c_bit.clone();
+            matmul_sub_assign(&mut c_bit, &a, &b, Parallelism::SEQ);
+            matmul_sub_assign_mode(&mut c_fast, &a, &b, Parallelism::new(3), Numerics::Fast);
+            assert!(c_fast.max_abs_diff(&c_bit) <= tol * c_bit.max_abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn bitwise_mode_is_the_default_alias() {
+        let a = rand_mat(13, 7, 40);
+        let b = rand_mat(7, 9, 41);
+        assert_bitwise_eq(
+            &matmul(&a, &b, Parallelism::new(2)),
+            &matmul_mode(&a, &b, Parallelism::new(2), Numerics::Bitwise),
+        );
     }
 
     #[test]

@@ -1,0 +1,216 @@
+//! Numerics mode: the bitwise-reproducibility contract as a knob.
+//!
+//! Every kernel in this workspace defaults to [`Numerics::Bitwise`]:
+//! accumulations run in the exact order of the naive references, FMA is
+//! forbidden, and results are bit-for-bit identical across worker
+//! counts, tile shapes, and SPMD layouts. That contract is what the
+//! sharded-vs-replicated and resume-vs-uninterrupted oracles pin.
+//!
+//! [`Numerics::Fast`] opts into *numerically relaxed but still
+//! deterministic* kernels: fused multiply-add micro-kernels (one
+//! rounding per multiply-add instead of two) and fixed-shape pairwise
+//! ("tree") reductions for dot products and norms. The fixed-precision
+//! guarantee of the paper — the estimated error tracks the true error
+//! within the documented factor — is a *normwise* property, so it
+//! survives these reorderings; the tolerance-property test layer
+//! (`tests/numerics.rs`) holds every Fast path to the Bitwise oracle at
+//! bounds scaled by `n * eps * ||A||_F`.
+//!
+//! Fast mode is still deterministic for a fixed input: `f64::mul_add`
+//! is correctly rounded (one rounding), and the hardware FMA the
+//! `target_feature` copies emit is the *same* correctly rounded
+//! operation, so scalar and AVX2+FMA dispatch agree bitwise; pairwise
+//! reduction shapes depend only on the operand length, never on the
+//! worker count. "Bitwise-within-mode" therefore holds: a Fast resume
+//! reproduces a Fast uninterrupted run bit-for-bit.
+
+/// Floating-point evaluation mode for the kernel layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Numerics {
+    /// Reference evaluation order: no FMA, naive-order accumulation.
+    /// Bit-for-bit reproducible across worker counts and against the
+    /// naive reference kernels. The default, and the oracle Fast mode
+    /// is tested against.
+    #[default]
+    Bitwise,
+    /// FMA micro-kernels and fixed-shape pairwise reductions. Still
+    /// deterministic for a fixed input (see module docs), but *not*
+    /// bitwise-comparable to `Bitwise` — only normwise, within
+    /// `O(n * eps * ||A||)`.
+    Fast,
+}
+
+impl Numerics {
+    /// Stable textual tag used in checkpoint envelopes and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Numerics::Bitwise => "bitwise",
+            Numerics::Fast => "fast",
+        }
+    }
+
+    /// Inverse of [`Numerics::as_str`].
+    pub fn parse(s: &str) -> Option<Numerics> {
+        match s {
+            "bitwise" => Some(Numerics::Bitwise),
+            "fast" => Some(Numerics::Fast),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Numerics::Fast`].
+    #[inline]
+    pub fn is_fast(self) -> bool {
+        matches!(self, Numerics::Fast)
+    }
+}
+
+impl std::fmt::Display for Numerics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Sequential-run length at the leaves of the pairwise reductions: long
+/// enough to amortize the recursion, short enough that the error
+/// constant stays `O(log n)`-ish. Part of the fixed reduction shape —
+/// never derived from the worker count.
+const PAIRWISE_LEAF: usize = 32;
+
+/// Fixed-shape pairwise (tree) sum. The split points depend only on
+/// `xs.len()`, so the result is deterministic for a fixed operand on
+/// every machine and worker count — just not equal to the left-to-right
+/// sum the Bitwise kernels use.
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    let xs = test_hooks::maybe_truncate(xs);
+    pairwise_by(xs, |run| {
+        let mut acc = 0.0;
+        for &x in run {
+            acc += x;
+        }
+        acc
+    })
+}
+
+/// Fixed-shape pairwise sum of squares (`sum_i xs[i]^2`), the Fast-mode
+/// building block for Frobenius norms and column norms. Leaves fuse the
+/// square into the accumulate with one rounding (`mul_add`).
+pub fn pairwise_sum_sq(xs: &[f64]) -> f64 {
+    let xs = test_hooks::maybe_truncate(xs);
+    pairwise_by(xs, |run| {
+        let mut acc = 0.0;
+        for &x in run {
+            acc = x.mul_add(x, acc);
+        }
+        acc
+    })
+}
+
+/// Fixed-shape pairwise dot product with fused leaves.
+pub fn pairwise_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pairwise_dot: length mismatch");
+    let a = test_hooks::maybe_truncate(a);
+    let b = &b[..a.len()];
+    fn rec(a: &[f64], b: &[f64]) -> f64 {
+        if a.len() <= PAIRWISE_LEAF {
+            let mut acc = 0.0;
+            for (&x, &y) in a.iter().zip(b) {
+                acc = x.mul_add(y, acc);
+            }
+            return acc;
+        }
+        let mid = a.len() / 2;
+        rec(&a[..mid], &b[..mid]) + rec(&a[mid..], &b[mid..])
+    }
+    rec(a, b)
+}
+
+fn pairwise_by(xs: &[f64], leaf: impl Fn(&[f64]) -> f64 + Copy) -> f64 {
+    if xs.len() <= PAIRWISE_LEAF {
+        return leaf(xs);
+    }
+    let mid = xs.len() / 2;
+    pairwise_by(&xs[..mid], leaf) + pairwise_by(&xs[mid..], leaf)
+}
+
+/// Negative-control hook for the tolerance-property test layer: a
+/// deliberately broken reduction that silently drops the last summand.
+/// The property tests flip it on and assert the normwise bound *fails*,
+/// proving the bound is tight enough to catch a real one-term numerics
+/// bug rather than being vacuously wide. Thread-local so a test binary
+/// can run the broken and healthy paths concurrently; production code
+/// never touches it.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::cell::Cell;
+
+    thread_local! {
+        static BROKEN_REDUCTION: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Enable or disable the broken-reduction fault on this thread.
+    pub fn set_broken_reduction(on: bool) {
+        BROKEN_REDUCTION.with(|b| b.set(on));
+    }
+
+    /// Current state of the fault on this thread.
+    pub fn broken_reduction() -> bool {
+        BROKEN_REDUCTION.with(|b| b.get())
+    }
+
+    /// Drop the last summand when the fault is armed.
+    #[inline]
+    pub(super) fn maybe_truncate(xs: &[f64]) -> &[f64] {
+        if broken_reduction() && xs.len() > 1 {
+            &xs[..xs.len() - 1]
+        } else {
+            xs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_tags_round_trip() {
+        for mode in [Numerics::Bitwise, Numerics::Fast] {
+            assert_eq!(Numerics::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(Numerics::parse("turbo"), None);
+        assert_eq!(Numerics::default(), Numerics::Bitwise);
+    }
+
+    #[test]
+    fn pairwise_sum_matches_exact_on_integers() {
+        // Integer-valued doubles sum exactly in any order.
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        assert_eq!(pairwise_sum(&xs), 500_500.0);
+        assert_eq!(pairwise_sum_sq(&xs[..3]), 14.0);
+        assert_eq!(pairwise_dot(&xs[..3], &xs[..3]), 14.0);
+    }
+
+    #[test]
+    fn pairwise_sum_is_shape_stable_and_accurate() {
+        let xs: Vec<f64> = (0..4097)
+            .map(|i| ((i as f64) * 0.7).sin() / (i as f64 + 1.0))
+            .collect();
+        let tree = pairwise_sum(&xs);
+        // Same operand, same result — determinism is a shape property.
+        assert_eq!(tree.to_bits(), pairwise_sum(&xs).to_bits());
+        let flat: f64 = xs.iter().sum();
+        assert!((tree - flat).abs() <= 1e-12 * flat.abs().max(1.0));
+    }
+
+    #[test]
+    fn broken_reduction_hook_drops_a_summand() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(pairwise_sum(&xs), 10.0);
+        test_hooks::set_broken_reduction(true);
+        let broken = pairwise_sum(&xs);
+        test_hooks::set_broken_reduction(false);
+        assert_eq!(broken, 6.0, "hook must drop exactly the last summand");
+        assert_eq!(pairwise_sum(&xs), 10.0, "hook must disarm cleanly");
+    }
+}

@@ -8,14 +8,17 @@
 use std::time::Duration;
 
 use lra::core::{
-    explore_fault_space, ExploreConfig, IlutOpts, RecoveryPolicy, SiteOutcome, StorageFaultKind,
+    explore_fault_space, ExploreConfig, RecoveryPolicy, SiteOutcome, StorageFaultKind,
 };
 use lra::core::InjectionSite;
 
+mod common;
+use common::{fault_ilut_opts, fault_matrix};
+
 #[test]
 fn quick_matrix_has_no_invariant_violations() {
-    let a = lra::matgen::with_decay(&lra::matgen::fem2d(8, 6, 11), 1e-6, 3);
-    let opts = IlutOpts::new(4, 1e-3, 8);
+    let a = fault_matrix(11);
+    let opts = fault_ilut_opts();
     let dir = std::env::temp_dir().join(format!("lra_explorer_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
 

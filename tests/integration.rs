@@ -9,6 +9,9 @@ use lra::core::{
 use lra::dense::{min_rank_for_tolerance, singular_values};
 use lra::sparse::{read_matrix_market, write_matrix_market};
 
+mod common;
+use common::assert_fixed_precision;
+
 #[test]
 fn matrix_market_roundtrip_through_factorization() {
     let a = lra::matgen::with_decay(&lra::matgen::banded(120, 4, 3), 1e-6, 1);
@@ -83,11 +86,8 @@ fn ilut_headline_claim_fill_in_reduced_at_same_quality() {
     assert!(ratio > 1.5, "expected nnz reduction, ratio = {ratio:.2}");
     // Same quality: both errors below tau (plus ILUT's bounded drop).
     let e_lu = lu.exact_error(&a, Parallelism::SEQ);
-    let e_il = il.exact_error(&a, Parallelism::SEQ);
-    let nf = a.fro_norm();
-    assert!(e_lu < tau * nf);
-    let slack = il.threshold.as_ref().unwrap().dropped_mass_sq.sqrt();
-    assert!(e_il < tau * nf + slack);
+    assert!(e_lu < tau * a.fro_norm());
+    assert_fixed_precision(&il, &a, tau, "ilut headline claim");
 }
 
 #[test]

@@ -12,73 +12,25 @@
 //!   computed factors,
 //! - the algorithm's own *estimate*,
 //!
-//! and assert the estimate is within [`ORACLE_FACTOR`] of the truth
-//! (plus [`ORACLE_ABS_SLACK`] absorbing the double-precision floor of
+//! and assert the estimate is within `ORACLE_FACTOR` of the truth
+//! (plus `ORACLE_ABS_SLACK` absorbing the double-precision floor of
 //! the downdating indicators), and that the truth never beats the SVD
 //! bound. Swept for `tau` in `{1e-2, 1e-4}`, the paper's extreme
 //! tolerance grid endpoints usable above the indicator floor.
+//!
+//! The same oracle also pins `Numerics::Fast`: FMA kernels and pairwise
+//! reductions change the rounding, not the mathematics, so every
+//! algorithm's estimator must keep the documented 10x tracking factor
+//! in Fast mode too (the Yu/Gu/Li-style normwise-robustness argument).
 
-use lra::core::{ilut_crtp, lu_crtp, rand_qb_ei, IlutOpts, LuCrtpOpts, Parallelism, QbOpts};
+use lra::core::{
+    ilut_crtp, lu_crtp, rand_qb_ei, rand_ubv, IlutOpts, LuCrtpOpts, Numerics, Parallelism, QbOpts,
+    UbvOpts,
+};
 use lra::dense::singular_values;
-use lra::sparse::CscMatrix;
 
-/// Documented multiplicative accuracy of the estimators vs the truth.
-/// Empirically the estimators track the true error to a few percent
-/// (they are exact identities up to dropped/rounded mass); 10x leaves
-/// headroom for unlucky sketches without ever accepting an estimator
-/// that is off by an order of magnitude and a half.
-const ORACLE_FACTOR: f64 = 10.0;
-
-/// Absolute slack on the relative-error comparison: the indicators
-/// downdate `||A||_F^2` in double precision, so below ~1e-7 relative
-/// they are noise (`QB_INDICATOR_FLOOR` guards the stopping rule the
-/// same way).
-const ORACLE_ABS_SLACK: f64 = 1e-6;
-
-/// Small preset matrices (dense SVD affordable in a debug test run),
-/// spanning the generator families with nontrivial spectral decay.
-fn oracle_matrices() -> Vec<(&'static str, CscMatrix)> {
-    vec![
-        (
-            "fem2d-100",
-            lra::matgen::with_decay(&lra::matgen::fem2d(10, 10, 7), 1e-6, 7),
-        ),
-        (
-            "circuit-120",
-            lra::matgen::with_decay(&lra::matgen::circuit(120, 3, 2, 11), 1e-6, 11),
-        ),
-        (
-            "economic-90",
-            lra::matgen::with_decay(&lra::matgen::economic(90, 5, 13), 1e-6, 13),
-        ),
-    ]
-}
-
-/// `sqrt(sum_{i>=k} s_i^2) / ||A||_F` — the Eckart–Young optimum.
-fn svd_tail_rel(s: &[f64], k: usize, a_norm_f: f64) -> f64 {
-    let tail: f64 = s.iter().skip(k).map(|x| x * x).sum();
-    tail.sqrt() / a_norm_f
-}
-
-/// Shared oracle assertions for one `(estimate, truth)` pair.
-fn assert_oracle(name: &str, algo: &str, tau: f64, rank: usize, est: f64, truth: f64, opt: f64) {
-    assert!(
-        truth >= opt * (1.0 - 1e-9) - 1e-12,
-        "{algo} on {name} (tau={tau:.0e}): true error {truth:.3e} beats the \
-         SVD optimum {opt:.3e} at rank {rank} — exact_error or SVD is wrong"
-    );
-    assert!(
-        est <= ORACLE_FACTOR * truth + ORACLE_ABS_SLACK,
-        "{algo} on {name} (tau={tau:.0e}): estimate {est:.3e} overshoots \
-         {ORACLE_FACTOR}x true error {truth:.3e}"
-    );
-    assert!(
-        est + ORACLE_ABS_SLACK >= truth / ORACLE_FACTOR,
-        "{algo} on {name} (tau={tau:.0e}): estimate {est:.3e} undershoots \
-         true error {truth:.3e} by more than {ORACLE_FACTOR}x — the stopping \
-         rule would accept an approximation {ORACLE_FACTOR}x worse than reported"
-    );
-}
+mod common;
+use common::{assert_oracle, oracle_matrices, svd_tail_rel};
 
 #[test]
 fn qb_indicator_tracks_svd_truth() {
@@ -113,6 +65,69 @@ fn ilut_indicator_tracks_svd_truth() {
             let opt = svd_tail_rel(&s, r.rank, a_norm_f);
             assert!(est <= tau * (1.0 + 1e-9), "converged above tau");
             assert_oracle(name, "ilut_crtp", tau, r.rank, est, truth, opt);
+        }
+    }
+}
+
+/// All four algorithms in `Numerics::Fast`: the estimators must keep
+/// the documented 10x tracking factor under FMA kernels and pairwise
+/// reductions at both tolerance-grid endpoints.
+#[test]
+fn all_four_estimators_track_svd_truth_in_fast_mode() {
+    for (name, a) in oracle_matrices() {
+        let s = singular_values(&a.to_dense());
+        let a_norm_f = a.fro_norm();
+        for tau in [1e-2, 1e-4] {
+            let qb = rand_qb_ei(&a, &QbOpts::new(8, tau).with_numerics(Numerics::Fast)).unwrap();
+            assert!(qb.converged, "fast rand_qb_ei on {name} (tau={tau:.0e})");
+            assert_oracle(
+                name,
+                "rand_qb_ei[fast]",
+                tau,
+                qb.rank,
+                qb.indicator / a_norm_f,
+                qb.exact_error(&a, Parallelism::SEQ) / a_norm_f,
+                svd_tail_rel(&s, qb.rank, a_norm_f),
+            );
+
+            let lu = lu_crtp(&a, &LuCrtpOpts::new(8, tau).with_numerics(Numerics::Fast));
+            assert!(lu.converged, "fast lu_crtp on {name} (tau={tau:.0e})");
+            assert_oracle(
+                name,
+                "lu_crtp[fast]",
+                tau,
+                lu.rank,
+                lu.indicator / a_norm_f,
+                lu.exact_error(&a, Parallelism::SEQ) / a_norm_f,
+                svd_tail_rel(&s, lu.rank, a_norm_f),
+            );
+
+            let il = ilut_crtp(
+                &a,
+                &IlutOpts::new(8, tau, lu.iterations.max(1)).with_numerics(Numerics::Fast),
+            );
+            assert!(il.converged, "fast ilut_crtp on {name} (tau={tau:.0e})");
+            assert_oracle(
+                name,
+                "ilut_crtp[fast]",
+                tau,
+                il.rank,
+                il.indicator / a_norm_f,
+                il.exact_error(&a, Parallelism::SEQ) / a_norm_f,
+                svd_tail_rel(&s, il.rank, a_norm_f),
+            );
+
+            let ubv = rand_ubv(&a, &UbvOpts::new(8, tau).with_numerics(Numerics::Fast));
+            assert!(ubv.converged, "fast rand_ubv on {name} (tau={tau:.0e})");
+            assert_oracle(
+                name,
+                "rand_ubv[fast]",
+                tau,
+                ubv.rank,
+                ubv.indicator / a_norm_f,
+                ubv.exact_error(&a, Parallelism::SEQ) / a_norm_f,
+                svd_tail_rel(&s, ubv.rank, a_norm_f),
+            );
         }
     }
 }

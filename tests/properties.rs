@@ -9,6 +9,9 @@ use lra::dense::{
 use lra::sparse::{spgemm, spmm_dense, CooMatrix, CscMatrix};
 use proptest::prelude::*;
 
+mod common;
+use common::bits_eq;
+
 /// Strategy: a random dense matrix with bounded entries.
 fn dense_mat(max_rows: usize, max_cols: usize) -> impl Strategy<Value = DenseMatrix> {
     (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
@@ -413,10 +416,6 @@ impl Checkpoint for SoakState {
     }
 }
 
-fn vec_bits_eq(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
-}
-
 /// Strategy: two generation payloads plus one byte-level mutation
 /// (operation selector, position, operand) to apply to the newest
 /// envelope on disk.
@@ -477,7 +476,7 @@ proptest! {
         let outcome = store.load::<SoakState>();
         match outcome {
             Ok(Some(s)) => prop_assert!(
-                vec_bits_eq(&s.xs, &xs2) || vec_bits_eq(&s.xs, &xs1),
+                bits_eq(&s.xs, &xs2) || bits_eq(&s.xs, &xs1),
                 "loaded state matches neither surviving generation"
             ),
             Ok(None) => prop_assert!(

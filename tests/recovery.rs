@@ -8,23 +8,13 @@ use std::time::Duration;
 use lra::core::{
     explore_fault_space, ilut_crtp_spmd_checkpointed, ilut_crtp_supervised,
     ilut_crtp_supervised_with_store, lu_crtp_dist_checked, rand_qb_ei, rand_qb_ei_checkpointed,
-    CheckpointStore, ExploreConfig, FaultPlan, IlutOpts, InvalidInput, LuCrtpOpts, Parallelism,
-    QbOpts, RecoveryError, RecoveryHooks, RecoveryPolicy, RunConfig, StorageFaultPlan,
-    SupervisedError,
+    CheckpointStore, ExploreConfig, FaultPlan, IlutOpts, InvalidInput, LuCrtpOpts, QbOpts,
+    RecoveryError, RecoveryHooks, RecoveryPolicy, RunConfig, StorageFaultPlan, SupervisedError,
 };
-use lra::obs::MetricValue;
 use lra::sparse::CscMatrix;
 
-fn counter(name: &str) -> u64 {
-    match lra::obs::metrics::global().get(name) {
-        Some(MetricValue::Counter(c)) => c,
-        _ => 0,
-    }
-}
-
-fn bits_eq(a: &[f64], b: &[f64]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
-}
+mod common;
+use common::{assert_fixed_precision, bits_eq, counter, fault_ilut_opts, fault_matrix};
 
 // ---- Satellite: typed input validation --------------------------------
 
@@ -101,15 +91,15 @@ fn supervised_entry_rejects_invalid_opts_before_spawning() {
 /// `Json` round trip preserves every f64 bit.
 #[test]
 fn resume_from_checkpoint_is_bitwise_identical_to_uninterrupted_run() {
-    let a = lra::matgen::with_decay(&lra::matgen::fem2d(8, 6, 11), 1e-6, 3);
-    let opts = IlutOpts::new(4, 1e-3, 8);
+    let a = fault_matrix(11);
+    let opts = fault_ilut_opts();
     let np = 2;
 
     // Uninterrupted reference.
     let clean = lra::comm::run_with(np, &RunConfig::default(), |ctx| {
         ilut_crtp_spmd_checkpointed(ctx, &a, &opts, None)
     });
-    let reference = clean.results.into_iter().next().unwrap().unwrap();
+    let reference = clean.results.into_iter().next().unwrap().unwrap().unwrap();
     assert!(
         reference.iterations > 3,
         "need enough iterations to interrupt at iteration 3 (got {})",
@@ -133,7 +123,7 @@ fn resume_from_checkpoint_is_bitwise_identical_to_uninterrupted_run() {
     let resumed = lra::comm::run_with(np, &RunConfig::default(), |ctx| {
         ilut_crtp_spmd_checkpointed(ctx, &a, &opts, Some(&hooks))
     });
-    let resumed = resumed.results.into_iter().next().unwrap().unwrap();
+    let resumed = resumed.results.into_iter().next().unwrap().unwrap().unwrap();
 
     assert_eq!(resumed.rank, reference.rank);
     assert_eq!(resumed.iterations, reference.iterations);
@@ -159,8 +149,8 @@ fn resume_from_checkpoint_is_bitwise_identical_to_uninterrupted_run() {
 /// rank count.
 #[test]
 fn shrink_resume_redistributes_shards_across_fewer_ranks() {
-    let a = lra::matgen::with_decay(&lra::matgen::fem2d(8, 6, 11), 1e-6, 3);
-    let opts = IlutOpts::new(4, 1e-3, 8);
+    let a = fault_matrix(11);
+    let opts = fault_ilut_opts();
 
     // Interrupted np=3 run: rank 1 dies at iteration 3. The iteration-1
     // snapshot is guaranteed persisted (rank 0 only enters iteration 2's
@@ -184,22 +174,13 @@ fn shrink_resume_redistributes_shards_across_fewer_ranks() {
         let out = lra::comm::run_with(2, &RunConfig::default(), |ctx| {
             ilut_crtp_spmd_checkpointed(ctx, &a, &opts, Some(&hooks))
         });
-        out.results.into_iter().next().unwrap().unwrap()
+        out.results.into_iter().next().unwrap().unwrap().unwrap()
     };
     let first = resume();
     let second = resume();
 
     assert!(first.converged, "{:?}", first.breakdown);
-    let dropped = first
-        .threshold
-        .as_ref()
-        .map(|t| t.dropped_mass_sq.sqrt())
-        .unwrap_or(0.0);
-    let exact = first.exact_error(&a, Parallelism::SEQ);
-    assert!(
-        exact <= (opts.base.tau * first.a_norm_f + dropped) * 1.000001,
-        "fixed-precision bound violated after shrink-resume: {exact:e}"
-    );
+    assert_fixed_precision(&first, &a, opts.base.tau, "shrink-resume");
 
     // Determinism of the redistributed resume.
     assert_eq!(second.rank, first.rank);
@@ -271,18 +252,7 @@ fn supervised_ilut_survives_rank_kill_with_guarantee_intact() {
     assert!(!out.degraded);
     let r = &out.value;
     assert!(r.converged, "resumed run must still converge");
-    let exact = r.exact_error(&a, Parallelism::SEQ);
-    let dropped = r
-        .threshold
-        .as_ref()
-        .map(|t| t.dropped_mass_sq.sqrt())
-        .unwrap_or(0.0);
-    assert!(
-        exact <= (opts.base.tau * r.a_norm_f + dropped) * 1.000001,
-        "fixed-precision guarantee violated after recovery: \
-         exact {exact:e} vs tau*||A||_F {:e} + dropped {dropped:e}",
-        opts.base.tau * r.a_norm_f
-    );
+    assert_fixed_precision(r, &a, opts.base.tau, "supervised rank-kill recovery");
 
     // Recovery is observable: counters bumped, resume instant traced.
     assert!(counter("recover.checkpoint") > ckpt_before);
@@ -333,8 +303,8 @@ fn chaos_plan(seed: u64, np: usize) -> (FaultPlan, Duration) {
 /// itself.
 #[test]
 fn chaos_soak_always_completes_or_fails_typed() {
-    let a = lra::matgen::with_decay(&lra::matgen::fem2d(8, 6, 19), 1e-6, 3);
-    let opts = IlutOpts::new(4, 1e-3, 8);
+    let a = fault_matrix(19);
+    let opts = fault_ilut_opts();
     let np = 3;
 
     // Deterministic half: every comm injection site, enumerated by the
@@ -384,16 +354,11 @@ fn chaos_soak_always_completes_or_fails_typed() {
         ));
         match ilut_crtp_supervised_with_store(&a, &opts, np, &cfg, &policy, 1, &store) {
             Ok(out) => {
-                let r = &out.value;
-                let dropped = r
-                    .threshold
-                    .as_ref()
-                    .map(|t| t.dropped_mass_sq.sqrt())
-                    .unwrap_or(0.0);
-                let exact = r.exact_error(&a, Parallelism::SEQ);
-                assert!(
-                    exact <= (opts.base.tau * r.a_norm_f + dropped) * 1.000001,
-                    "seed {seed}: bound violated after recovery"
+                assert_fixed_precision(
+                    &out.value,
+                    &a,
+                    opts.base.tau,
+                    &format!("chaos seed {seed}"),
                 );
                 completed += 1;
             }
