@@ -2,18 +2,25 @@
 //! recovery path — the CI gate for the durability layer.
 //!
 //! For each requested rank count, a clean probe run enumerates every
-//! injection site (each iteration × {rank kill, watchdog timeout} and
-//! each checkpoint save × every storage-fault flavor), then one
-//! supervised run per site injects the fault and checks the supervisor
-//! invariants: successful recovery or a typed `RecoveryError`, never a
-//! panic; same-grid resumes bitwise-identical to the uninterrupted
-//! factors; corrupted generations surfaced as
+//! injection site (each iteration × {rank kill, watchdog timeout},
+//! each checkpoint save × every storage-fault flavor, and a budget
+//! cancel at every iteration boundary), then one run per site injects
+//! the fault and checks the invariants: successful recovery, a typed
+//! `RecoveryError`, or a typed budget trip — never a panic; same-grid
+//! resumes (including resume-from-cancel) bitwise-identical to the
+//! uninterrupted factors; corrupted generations surfaced as
 //! `recover.corrupt_checkpoint`. The per-site verdict tables are
 //! printed and written as a JSON artifact; any violation exits 1.
+//!
+//! `--sites comm,storage,cancel` selects the site families (default
+//! all), so CI can split the comm/storage sweep and the cancel sweep
+//! into separate jobs with separate artifacts.
 //!
 //! ```sh
 //! cargo run -p lra-bench --release --bin fault_explorer -- \
 //!     --np 2,4 --out FAULT_SPACE.json
+//! cargo run -p lra-bench --release --bin fault_explorer -- \
+//!     --np 2 --sites cancel --out CANCEL_SPACE.json
 //! ```
 
 use lra_core::{explore_fault_space, ExploreConfig, IlutOpts, RecoveryPolicy};
@@ -27,7 +34,10 @@ const TAU: f64 = 1e-3;
 
 fn fail(msg: &str) -> ! {
     eprintln!("fault_explorer: {msg}");
-    eprintln!("usage: fault_explorer [--np LIST] [--out PATH] [--watchdog-ms N] [--lenient]");
+    eprintln!(
+        "usage: fault_explorer [--np LIST] [--out PATH] [--watchdog-ms N] [--lenient] \
+         [--sites comm,storage,cancel]"
+    );
     std::process::exit(2);
 }
 
@@ -36,9 +46,24 @@ fn main() {
     let mut np_list: Vec<usize> = vec![2, 4];
     let mut watchdog_ms: u64 = 300;
     let mut strict = true;
+    let (mut comm_sites, mut storage_sites, mut cancel_sites) = (true, true, true);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--sites" => {
+                let list = args.next().unwrap_or_else(|| fail("--sites requires a value"));
+                comm_sites = false;
+                storage_sites = false;
+                cancel_sites = false;
+                for family in list.split(',') {
+                    match family.trim() {
+                        "comm" => comm_sites = true,
+                        "storage" => storage_sites = true,
+                        "cancel" => cancel_sites = true,
+                        other => fail(&format!("unknown site family {other:?}")),
+                    }
+                }
+            }
             "--out" => out_path = args.next().unwrap_or_else(|| fail("--out requires a value")),
             "--np" => {
                 let list = args.next().unwrap_or_else(|| fail("--np requires a value"));
@@ -76,8 +101,9 @@ fn main() {
             watchdog: Duration::from_millis(watchdog_ms),
             stall: Duration::from_millis(watchdog_ms * 3),
             policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
-            comm_sites: true,
-            storage_sites: true,
+            comm_sites,
+            storage_sites,
+            cancel_sites,
             on_disk: None,
             strict,
         };

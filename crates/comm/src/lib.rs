@@ -646,6 +646,29 @@ impl Ctx {
         }
     }
 
+    /// Allreduce over *optional* per-rank contributions: ranks with
+    /// `None` contribute nothing, and every rank returns `Some(fold)`
+    /// exactly when at least one rank had a value. `op` must be
+    /// associative and commutative for the result to be reduction-order
+    /// independent.
+    ///
+    /// This is the agreement primitive behind cooperative budget trips:
+    /// each rank offers its local verdict (or `None`), and the whole
+    /// group observes the same folded verdict at the same iteration —
+    /// the same never-desync discipline as poison broadcast, but for a
+    /// voluntary stop.
+    pub fn allreduce_opt<M, F>(&self, mine: Option<M>, op: F) -> Option<M>
+    where
+        M: Clone + Send + 'static,
+        F: Fn(M, M) -> M,
+    {
+        self.allreduce(mine, move |a, b| match (a, b) {
+            (Some(x), Some(y)) => Some(op(x, y)),
+            (some, None) => some,
+            (None, some) => some,
+        })
+    }
+
     /// Scatter one (arbitrarily sized) part to each rank from `root`:
     /// rank `r` returns `parts[r]`. Only the root's `parts` is read
     /// (it must hold exactly `size` entries); other ranks pass `None`.
@@ -983,6 +1006,25 @@ mod tests {
                 let prev = (r + np - 1) % np;
                 assert_eq!(*v, prev, "np={np}");
             }
+        }
+    }
+
+    #[test]
+    fn allreduce_opt_folds_only_contributing_ranks() {
+        for np in [1usize, 2, 3, 4, 7] {
+            // Odd ranks contribute their rank; everyone must agree on
+            // the max over contributors, or None when nobody offers.
+            let out = run_infallible(np, |ctx| {
+                let mine = (ctx.rank() % 2 == 1).then_some(ctx.rank());
+                ctx.allreduce_opt(mine, std::cmp::Ord::max)
+            });
+            let expect = (0..np).filter(|r| r % 2 == 1).max();
+            for (r, v) in out.iter().enumerate() {
+                assert_eq!(*v, expect, "np={np} rank={r}");
+            }
+
+            let none = run_infallible(np, |ctx| ctx.allreduce_opt::<usize, _>(None, |a, _| a));
+            assert!(none.iter().all(Option::is_none), "np={np}");
         }
     }
 

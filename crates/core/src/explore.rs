@@ -13,7 +13,11 @@
 //! - every [`StorageFaultKind`] at every checkpoint save index (torn
 //!   write, bit flip, ENOSPC, crash-before-rename, stale read), paired
 //!   with a one-shot stall two iterations later so the recovery path
-//!   actually reloads the damaged generation.
+//!   actually reloads the damaged generation, and
+//! - a cooperative **cancel** at every iteration boundary, injected as
+//!   an [`lra_recover::Budget`] iteration cap (the cap and an external
+//!   [`lra_recover::CancelToken`] share the same check machinery, and
+//!   the cap makes the trip point deterministic).
 //!
 //! Each site run asserts the supervisor invariants:
 //!
@@ -26,7 +30,12 @@
 //!    `||A - LU||_F ≤ tau·||A||_F + dropped`;
 //! 4. (strict mode) a torn/flipped generation that recovery touched
 //!    must surface as a `recover.corrupt_checkpoint` counter bump —
-//!    corruption is never absorbed silently.
+//!    corruption is never absorbed silently;
+//! 5. a cancel site must return a typed trip whose partial factors
+//!    carry the clean run's error indicator at the trip iteration
+//!    (bit for bit), and resuming the trip's checkpoint with an
+//!    unlimited budget must reproduce the uninterrupted factors
+//!    **bitwise**.
 //!
 //! The per-site verdicts come back as an [`ExplorerReport`] with a
 //! text table and a JSON rendering for CI artifacts.
@@ -69,6 +78,14 @@ pub enum InjectionSite {
         /// 0-based save-call index the fault hits.
         save_index: u64,
     },
+    /// Trip the budget at the boundary where `iteration` iterations
+    /// have completed (0 = before any work). `iteration` equal to the
+    /// clean run's total is a cap that never fires — the site checks
+    /// clean completion instead.
+    Cancel {
+        /// Completed-iteration count at which the trip fires.
+        iteration: u64,
+    },
 }
 
 impl std::fmt::Display for InjectionSite {
@@ -83,6 +100,7 @@ impl std::fmt::Display for InjectionSite {
             InjectionSite::Storage { kind, save_index } => {
                 write!(f, "storage:{kind}@save{save_index}")
             }
+            InjectionSite::Cancel { iteration } => write!(f, "cancel@it{iteration}"),
         }
     }
 }
@@ -99,6 +117,11 @@ pub enum SiteOutcome {
     /// The supervisor gave up with a typed [`RecoveryError`] — an
     /// acceptable ending, never a hang or a panic.
     TypedError,
+    /// A cancel site ended in a typed budget trip whose partial result
+    /// and checkpoint passed every invariant (indicator bits match the
+    /// clean run at the trip iteration; the resumed run reproduced the
+    /// uninterrupted factors bitwise).
+    Interrupted,
     /// An invariant broke: a panic escaped, factors diverged bitwise,
     /// the precision bound failed, or (strict) corruption went
     /// unreported.
@@ -112,6 +135,7 @@ impl SiteOutcome {
             SiteOutcome::Recovered => "recovered",
             SiteOutcome::CleanCompletion => "clean",
             SiteOutcome::TypedError => "typed_error",
+            SiteOutcome::Interrupted => "interrupted",
             SiteOutcome::Violation => "VIOLATION",
         }
     }
@@ -240,10 +264,11 @@ impl ExplorerReport {
             ));
         }
         out.push_str(&format!(
-            "totals: recovered={} clean={} typed_error={} violations={}\n",
+            "totals: recovered={} clean={} typed_error={} interrupted={} violations={}\n",
             self.count(&SiteOutcome::Recovered),
             self.count(&SiteOutcome::CleanCompletion),
             self.count(&SiteOutcome::TypedError),
+            self.count(&SiteOutcome::Interrupted),
             self.count(&SiteOutcome::Violation)
         ));
         out
@@ -270,6 +295,10 @@ pub struct ExploreConfig {
     pub comm_sites: bool,
     /// Enumerate every [`StorageFaultKind`] at every save index.
     pub storage_sites: bool,
+    /// Enumerate a budget cancel at every iteration boundary
+    /// (`0..=iterations`; the last is a never-firing cap that checks
+    /// clean completion).
+    pub cancel_sites: bool,
     /// When set, storage-site stores persist on disk under this
     /// directory (one sub-file per site) instead of in memory.
     pub on_disk: Option<PathBuf>,
@@ -288,6 +317,7 @@ impl Default for ExploreConfig {
             policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
             comm_sites: true,
             storage_sites: true,
+            cancel_sites: true,
             on_disk: None,
             strict: false,
         }
@@ -383,6 +413,11 @@ pub fn explore_fault_space(
             }
         }
     }
+    if cfg.cancel_sites {
+        for it in 0..=iterations as u64 {
+            sites.push(InjectionSite::Cancel { iteration: it });
+        }
+    }
 
     // ---- One supervised run per site.
     let mut verdicts = Vec::with_capacity(sites.len());
@@ -411,6 +446,9 @@ fn run_site(
     // iterations (a storage fault at the last save has no later
     // iteration to stall, so nothing ever reloads it).
     let (run_cfg, storage_faults, fault_reachable) = match site {
+        InjectionSite::Cancel { iteration } => {
+            return run_cancel_site(a, opts, cfg, reference, iterations, *iteration)
+        }
         InjectionSite::CommKill { rank, iteration } => (
             RunConfig::default()
                 .with_watchdog(Duration::from_secs(20))
@@ -571,6 +609,195 @@ fn run_site(
             }
         }
     }
+    verdict
+}
+
+/// One cancel site: run the budgeted driver directly (a budget trip is
+/// a *result*, not a failure, so it never enters the supervisor's
+/// ladder), check the typed-trip invariants against the clean
+/// reference, then resume the trip's checkpoint with an unlimited
+/// budget and require bitwise identity with the uninterrupted run.
+fn run_cancel_site(
+    a: &CscMatrix,
+    opts: &IlutOpts,
+    cfg: &ExploreConfig,
+    reference: &LuCrtpResult,
+    iterations: usize,
+    cancel_iteration: u64,
+) -> SiteVerdict {
+    use lra_recover::{Budget, BudgetTrip};
+
+    let mut verdict = SiteVerdict {
+        site: InjectionSite::Cancel { iteration: cancel_iteration },
+        outcome: SiteOutcome::Violation,
+        attempts: 0,
+        final_np: cfg.np,
+        degraded: false,
+        bitwise_match: None,
+        corrupt_skips: 0,
+        detail: String::new(),
+    };
+
+    let store = match &cfg.on_disk {
+        Some(dir) => {
+            CheckpointStore::on_disk(dir.join(format!("site_cancel_{cancel_iteration}.json")))
+        }
+        None => CheckpointStore::in_memory(),
+    };
+    let hooks = crate::checkpoint::RecoveryHooks::new(&store, cfg.ckpt_every);
+    let run_cfg = RunConfig::default().with_watchdog(Duration::from_secs(20));
+    // An iteration cap and an external token share the identical check
+    // and agreement machinery; the cap pins the trip point exactly.
+    let mut budgeted = opts.clone();
+    budgeted.base.budget = Budget::unlimited().with_iteration_cap(cancel_iteration);
+
+    let panic_detail = |panic: Box<dyn std::any::Any + Send>| {
+        panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    };
+
+    // ---- Budgeted run: every rank must return, no rank may fail.
+    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        lra_comm::run_with(cfg.np, &run_cfg, |ctx| {
+            crate::spmd::ilut_crtp_spmd_checkpointed(ctx, a, &budgeted, Some(&hooks))
+                .expect("fresh store cannot mismatch numerics")
+        })
+        .results
+    }));
+    let partial = match ran {
+        Err(panic) => {
+            verdict.detail = format!("panic escaped the cancelled run: {}", panic_detail(panic));
+            store.clear();
+            return verdict;
+        }
+        Ok(results) => {
+            let mut oks = Vec::with_capacity(results.len());
+            for r in results {
+                match r {
+                    Ok(v) => oks.push(v),
+                    Err(e) => {
+                        verdict.detail = format!("a rank failed under cancel: {e}");
+                        store.clear();
+                        return verdict;
+                    }
+                }
+            }
+            oks.swap_remove(0)
+        }
+    };
+
+    if cancel_iteration >= iterations as u64 {
+        // The cap can never fire: this site pins the other side of the
+        // contract — an unreached budget changes nothing, bit for bit.
+        store.clear();
+        if partial.trip.is_some() {
+            verdict.detail = "a cap beyond the clean iteration count tripped".to_string();
+        } else if !factors_bitwise_eq(&partial, reference) {
+            verdict.bitwise_match = Some(false);
+            verdict.detail = "unreached budget perturbed the factors".to_string();
+        } else {
+            verdict.bitwise_match = Some(true);
+            verdict.outcome = SiteOutcome::CleanCompletion;
+        }
+        return verdict;
+    }
+
+    // ---- Trip invariants: typed verdict at the exact boundary, with
+    // the clean run's indicator at that iteration, bit for bit.
+    let expected_trip = BudgetTrip::IterationCap {
+        iterations: cancel_iteration,
+        cap: cancel_iteration,
+    };
+    if partial.trip.as_ref() != Some(&expected_trip) {
+        verdict.detail = format!(
+            "expected {expected_trip}, got {:?}",
+            partial.trip.as_ref().map(ToString::to_string)
+        );
+        store.clear();
+        return verdict;
+    }
+    if partial.iterations != cancel_iteration as usize {
+        verdict.detail = format!(
+            "tripped after {} iterations instead of {cancel_iteration}",
+            partial.iterations
+        );
+        store.clear();
+        return verdict;
+    }
+    let expected_indicator = if cancel_iteration == 0 {
+        reference.a_norm_f
+    } else {
+        reference.trace[cancel_iteration as usize - 1].indicator
+    };
+    if partial.indicator.to_bits() != expected_indicator.to_bits() {
+        verdict.detail = format!(
+            "partial indicator {} != clean run's {expected_indicator} at the trip iteration",
+            partial.indicator
+        );
+        store.clear();
+        return verdict;
+    }
+    let achieved = partial.achieved_tolerance();
+    match partial.clone().into_outcome() {
+        crate::Outcome::Interrupted(i) => {
+            if i.achieved_tolerance.to_bits() != achieved.to_bits()
+                || i.resume.map(|h| h.iteration) != (cancel_iteration > 0)
+                    .then_some(cancel_iteration as usize)
+            {
+                verdict.detail = "Interrupted outcome disagrees with the partial result".into();
+                store.clear();
+                return verdict;
+            }
+        }
+        crate::Outcome::Completed(_) => {
+            verdict.detail = "tripped result folded into Outcome::Completed".to_string();
+            store.clear();
+            return verdict;
+        }
+    }
+
+    // ---- Resume with an unlimited budget on the same store: must
+    // replay into the uninterrupted run bitwise.
+    let resumed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        lra_comm::run_with(cfg.np, &run_cfg, |ctx| {
+            crate::spmd::ilut_crtp_spmd_checkpointed(ctx, a, opts, Some(&hooks))
+                .expect("resume store was written in the same numerics mode")
+        })
+        .results
+    }));
+    store.clear();
+    let resumed = match resumed {
+        Err(panic) => {
+            verdict.detail = format!("panic escaped the resumed run: {}", panic_detail(panic));
+            return verdict;
+        }
+        Ok(mut results) => match results.swap_remove(0) {
+            Ok(v) => v,
+            Err(e) => {
+                verdict.detail = format!("a rank failed during resume: {e}");
+                return verdict;
+            }
+        },
+    };
+    if !resumed.converged {
+        verdict.detail = "resumed run did not converge".to_string();
+        return verdict;
+    }
+    if !precision_bound_holds(a, opts.base.tau, &resumed) {
+        verdict.detail = "fixed-precision bound violated after resume".to_string();
+        return verdict;
+    }
+    let eq = factors_bitwise_eq(&resumed, reference);
+    verdict.bitwise_match = Some(eq);
+    if !eq {
+        verdict.detail = "resume-from-cancel diverged bitwise from the reference".to_string();
+        return verdict;
+    }
+    verdict.outcome = SiteOutcome::Interrupted;
+    verdict.detail = format!("achieved_tol={achieved:.3e}");
     verdict
 }
 

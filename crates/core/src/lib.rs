@@ -25,6 +25,7 @@
 mod checkpoint;
 mod explore;
 mod lucrtp;
+mod outcome;
 mod qb;
 mod spmd;
 mod supervised;
@@ -40,6 +41,7 @@ pub use lucrtp::{
     IlutOpts, InvalidInput, IterTrace, LFormation, LuCrtpOpts, LuCrtpResult, MemStats,
     OrderingMode, ThresholdReport, DEFAULT_DENSE_SWITCH,
 };
+pub use outcome::{Interrupted, Outcome, ResumeHandle};
 pub use qb::{rand_qb_ei, rand_qb_ei_checkpointed, QbError, QbOpts, QbResult, QB_INDICATOR_FLOOR};
 pub use spmd::{
     ilut_crtp_dist, ilut_crtp_dist_checked, ilut_crtp_spmd, ilut_crtp_spmd_checkpointed,
@@ -59,6 +61,6 @@ pub use lra_dense::Numerics;
 pub use lra_par::Parallelism;
 pub use lra_qrtp::TournamentTree;
 pub use lra_recover::{
-    Checkpoint, CheckpointStore, RecoveryError, RecoveryEvent, RecoveryPolicy, StorageFaultKind,
-    StorageFaultPlan, Supervised,
+    Budget, BudgetTrip, CancelToken, Checkpoint, CheckpointStore, RecoveryError, RecoveryEvent,
+    RecoveryPolicy, StorageFaultKind, StorageFaultPlan, Supervised,
 };

@@ -80,6 +80,18 @@ pub enum InvalidInput {
         /// Column count.
         cols: usize,
     },
+    /// The input matrix contains a NaN or infinite entry. Rejected up
+    /// front at checked entry points: a non-finite input can only ever
+    /// surface later as a mid-factorization [`Breakdown::NonFinite`],
+    /// after burning iterations on garbage.
+    NonFiniteEntry {
+        /// Row index of the first offending entry.
+        row: usize,
+        /// Column index of the first offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
     /// `dense_switch` must be finite and in `(0, 1]` when set.
     BadDenseSwitch {
         /// The offending threshold.
@@ -114,6 +126,9 @@ impl std::fmt::Display for InvalidInput {
             InvalidInput::EmptyMatrix { rows, cols } => {
                 write!(f, "input matrix is empty ({rows}x{cols})")
             }
+            InvalidInput::NonFiniteEntry { row, col, value } => {
+                write!(f, "input matrix entry ({row}, {col}) is not finite: {value}")
+            }
             InvalidInput::BadDenseSwitch { dense_switch } => {
                 write!(f, "dense_switch must be finite and in (0, 1], got {dense_switch}")
             }
@@ -130,13 +145,21 @@ impl std::fmt::Display for InvalidInput {
 
 impl std::error::Error for InvalidInput {}
 
-/// Reject empty inputs at checked entry points.
+/// Reject empty or non-finite inputs at checked entry points.
 pub(crate) fn validate_matrix(a: &CscMatrix) -> Result<(), InvalidInput> {
     if a.rows() == 0 || a.cols() == 0 {
         return Err(InvalidInput::EmptyMatrix {
             rows: a.rows(),
             cols: a.cols(),
         });
+    }
+    for col in 0..a.cols() {
+        let (ri, vs) = a.col(col);
+        for (&row, &value) in ri.iter().zip(vs) {
+            if !value.is_finite() {
+                return Err(InvalidInput::NonFiniteEntry { row, col, value });
+            }
+        }
     }
     Ok(())
 }
@@ -175,6 +198,14 @@ pub struct LuCrtpOpts {
     /// runs; checkpoints record the mode and refuse mode-switching
     /// resumes.
     pub numerics: Numerics,
+    /// Cooperative resource budget (deadline / iteration cap / memory
+    /// ceiling / cancel tokens). Checked once per block iteration at
+    /// the snapshot boundary; on a trip the driver checkpoints (when
+    /// hooks are attached) and returns the partial factors with
+    /// [`LuCrtpResult::trip`] set. Unlimited by default — the check
+    /// (and, under SPMD, the agreement collective) is skipped entirely
+    /// then.
+    pub budget: lra_recover::Budget,
 }
 
 /// Benchmark-tuned default for [`LuCrtpOpts::dense_switch`]: switch a
@@ -214,6 +245,7 @@ impl LuCrtpOpts {
             l_formation: LFormation::Direct,
             dense_switch: None,
             numerics: Numerics::Bitwise,
+            budget: lra_recover::Budget::unlimited(),
         })
     }
 
@@ -265,6 +297,12 @@ impl LuCrtpOpts {
     /// Builder-style numerics-mode setter (see [`LuCrtpOpts::numerics`]).
     pub fn with_numerics(mut self, numerics: Numerics) -> Self {
         self.numerics = numerics;
+        self
+    }
+
+    /// Builder-style budget setter (see [`LuCrtpOpts::budget`]).
+    pub fn with_budget(mut self, budget: lra_recover::Budget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -337,6 +375,13 @@ impl IlutOpts {
     /// Builder-style numerics-mode setter on the underlying base opts.
     pub fn with_numerics(mut self, numerics: Numerics) -> Self {
         self.base.numerics = numerics;
+        self
+    }
+
+    /// Builder-style budget setter on the underlying base opts (see
+    /// [`LuCrtpOpts::budget`]).
+    pub fn with_budget(mut self, budget: lra_recover::Budget) -> Self {
+        self.base.budget = budget;
         self
     }
 }
@@ -431,6 +476,13 @@ pub struct LuCrtpResult {
     /// for the sequential and replicated drivers, which hold the full
     /// Schur complement everywhere).
     pub mem: Option<MemStats>,
+    /// Set when a [`LuCrtpOpts::budget`] limit or cancel token stopped
+    /// the run at an iteration boundary. The factors are then a valid
+    /// rank-`K` approximation whose achieved tolerance is
+    /// [`LuCrtpResult::achieved_tolerance`]; under checkpoint hooks the
+    /// trip iteration was snapshotted, so a rerun against the same
+    /// store resumes from exactly here.
+    pub trip: Option<lra_recover::BudgetTrip>,
 }
 
 impl LuCrtpResult {
@@ -438,6 +490,42 @@ impl LuCrtpResult {
     /// denominator of Table II).
     pub fn factor_nnz(&self) -> usize {
         self.l.nnz() + self.u.nnz()
+    }
+
+    /// Achieved relative tolerance `indicator / ||A||_F`: the quantity
+    /// the fixed-precision stop rule compares against `tau`. For a
+    /// converged run it is `< tau`; for a budget-tripped run it
+    /// quantifies the degraded-but-valid approximation the partial
+    /// factors provide.
+    pub fn achieved_tolerance(&self) -> f64 {
+        if self.a_norm_f == 0.0 {
+            0.0
+        } else {
+            self.indicator / self.a_norm_f
+        }
+    }
+
+    /// Classify this result as a typed [`crate::Outcome`]:
+    /// `Interrupted` exactly when a budget trip stopped the run, with
+    /// the achieved tolerance and a resume handle pointing at the trip
+    /// iteration (meaningful when the run was checkpointed).
+    pub fn into_outcome(self) -> crate::Outcome<LuCrtpResult> {
+        match self.trip.clone() {
+            None => crate::Outcome::Completed(self),
+            Some(trip) => {
+                let achieved_tolerance = self.achieved_tolerance();
+                let resume = (self.iterations > 0).then_some(crate::ResumeHandle {
+                    kind: "lu_crtp",
+                    iteration: self.iterations,
+                });
+                crate::Outcome::Interrupted(crate::Interrupted {
+                    partial: self,
+                    trip,
+                    achieved_tolerance,
+                    resume,
+                })
+            }
+        }
     }
 
     /// Rank-revealing singular-value estimates: `|diag(R^(i))|` of each
@@ -560,6 +648,7 @@ fn drive(
         if opts.numerics.is_fast() { 1.0 } else { 0.0 },
     );
     let mut timers = KernelTimers::new();
+    let clock = opts.budget.start();
     let a_norm_f = a.fro_norm();
     let stop = opts.tau * a_norm_f;
     let rank_cap = opts.max_rank.unwrap_or(usize::MAX).min(m.min(n));
@@ -587,6 +676,7 @@ fn drive(
                 control_triggered: s.control_triggered,
             }),
             mem: None,
+            trip: None,
         });
     }
 
@@ -606,6 +696,7 @@ fn drive(
     let mut iterations = 0usize;
     let mut converged = false;
     let mut breakdown = None;
+    let mut trip: Option<lra_recover::BudgetTrip> = None;
     let mut indicator = a_norm_f;
     let mut r11 = 0.0f64;
 
@@ -650,6 +741,51 @@ fn drive(
     }
 
     loop {
+        // Budget check at the iteration boundary: the loop-carried
+        // state is consistent here (the same invariant the snapshot
+        // point relies on), so a trip leaves valid partial factors and
+        // a resumable store. A cadence save already covered this
+        // iteration when `should_save` holds; otherwise force one so
+        // the resume handle points at the trip iteration.
+        if !clock.is_unlimited() {
+            if let Some(t) = clock.check(iterations as u64, csc_resident_bytes(&s)) {
+                if let Some(h) = hooks {
+                    if iterations > 0 && !h.should_save(iterations) {
+                        let ck = crate::checkpoint::make_snapshot(
+                            m,
+                            n,
+                            iterations,
+                            rank,
+                            indicator,
+                            r11,
+                            &s,
+                            &row_map,
+                            &col_map,
+                            &l_cols,
+                            &ut_cols,
+                            &pivot_rows_glob,
+                            &pivot_cols_glob,
+                            &trace,
+                            ilut.as_ref().map(|st| crate::checkpoint::IlutCheckpoint {
+                                mu: st.mu,
+                                phi: st.phi,
+                                mass_sq: st.mass_sq,
+                                dropped: st.dropped,
+                                control_triggered: st.control_triggered,
+                            }),
+                            opts.numerics,
+                        );
+                        crate::checkpoint::save_snapshot(h, &ck);
+                    }
+                }
+                lra_recover::record_event(&lra_recover::RecoveryEvent::BudgetTrip {
+                    trip: t.clone(),
+                    iteration: iterations,
+                });
+                trip = Some(t);
+                break;
+            }
+        }
         if s.rows() == 0 || s.cols() == 0 || rank >= rank_cap {
             if indicator >= stop {
                 breakdown = Some(Breakdown::RankExhausted);
@@ -943,7 +1079,16 @@ fn drive(
             control_triggered: s.control_triggered,
         }),
         mem: None,
+        trip,
     })
+}
+
+/// Resident bytes of a CSC matrix's arrays — the sequential analogue of
+/// `ColSlice::resident_bytes`, fed to the budget's memory ceiling.
+pub(crate) fn csc_resident_bytes(s: &CscMatrix) -> u64 {
+    (std::mem::size_of_val(s.colptr())
+        + std::mem::size_of_val(s.rowidx())
+        + std::mem::size_of_val(s.values())) as u64
 }
 
 /// Mode-dispatched Frobenius norm of a Schur complement. Bitwise mode

@@ -42,6 +42,10 @@ pub struct QbOpts {
     /// norms (still deterministic for a fixed input — see the
     /// `lra-dense` [`Numerics`] docs).
     pub numerics: Numerics,
+    /// Resource budget / cancellation (default unlimited). Checked at
+    /// every block-iteration boundary; a trip stops the loop with the
+    /// blocks accumulated so far (see [`QbResult::into_outcome`]).
+    pub budget: lra_recover::Budget,
 }
 
 impl QbOpts {
@@ -55,6 +59,7 @@ impl QbOpts {
             par: Parallelism::SEQ,
             max_rank: None,
             numerics: Numerics::Bitwise,
+            budget: lra_recover::Budget::unlimited(),
         }
     }
 
@@ -85,6 +90,12 @@ impl QbOpts {
     /// Builder-style numerics mode.
     pub fn with_numerics(mut self, numerics: Numerics) -> Self {
         self.numerics = numerics;
+        self
+    }
+
+    /// Builder-style budget.
+    pub fn with_budget(mut self, budget: lra_recover::Budget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -150,6 +161,9 @@ pub struct QbResult {
     pub a_norm_f: f64,
     /// Kernel timers (Fig. 6 breakdown).
     pub timers: KernelTimers,
+    /// `Some` when a [`lra_recover::Budget`] limit (or cancel token)
+    /// stopped the loop before its own stop rule fired.
+    pub trip: Option<lra_recover::BudgetTrip>,
 }
 
 impl QbResult {
@@ -182,6 +196,40 @@ impl QbResult {
             .iter()
             .position(|&e| e < tau * self.a_norm_f)
             .map(|i| ((i + 1) * block).min(self.rank))
+    }
+
+    /// Achieved relative tolerance `indicator / ||A||_F` — the
+    /// quantified accuracy of the factors, degraded or not.
+    pub fn achieved_tolerance(&self) -> f64 {
+        if self.a_norm_f == 0.0 {
+            0.0
+        } else {
+            self.indicator / self.a_norm_f
+        }
+    }
+
+    /// Fold this result into the typed [`crate::Outcome`] contract: a
+    /// budget trip becomes [`crate::Interrupted`] carrying the partial
+    /// factors, the achieved tolerance, and (when at least one block
+    /// completed) a resume handle naming the `"rand_qb_ei"` checkpoint
+    /// kind.
+    pub fn into_outcome(self) -> crate::Outcome<QbResult> {
+        match self.trip.clone() {
+            None => crate::Outcome::Completed(self),
+            Some(trip) => {
+                let achieved_tolerance = self.achieved_tolerance();
+                let resume = (self.iterations > 0).then_some(crate::ResumeHandle {
+                    kind: "rand_qb_ei",
+                    iteration: self.iterations,
+                });
+                crate::Outcome::Interrupted(crate::Interrupted {
+                    partial: self,
+                    trip,
+                    achieved_tolerance,
+                    resume,
+                })
+            }
+        }
     }
 }
 
@@ -251,6 +299,7 @@ fn rand_qb_ei_inner(
             indicator_history: Vec::new(),
             a_norm_f,
             timers,
+            trip: None,
         });
     }
     let stop = opts.tau * a_norm_f;
@@ -264,6 +313,8 @@ fn rand_qb_ei_inner(
     let mut iterations = 0usize;
     let mut rank = 0usize;
     let mut draws = 0u64;
+    let mut trip: Option<lra_recover::BudgetTrip> = None;
+    let clock = opts.budget.start();
 
     if let Some(h) = hooks {
         if let Some(ck) = crate::checkpoint::load_qb_resume(h, m, n, numerics)? {
@@ -284,6 +335,35 @@ fn rand_qb_ei_inner(
     }
 
     while !converged && rank < rank_cap {
+        // Budget check at the block boundary: the accumulated Q/B
+        // blocks are the resident factorization state (the input is
+        // read-only and the sketch is transient).
+        if !clock.is_unlimited() {
+            let resident = (rank as u64) * ((m + n) as u64) * 8;
+            if let Some(t) = clock.check(iterations as u64, resident) {
+                if let Some(h) = hooks {
+                    if iterations > 0 && !h.should_save(iterations) {
+                        let ck = crate::checkpoint::QbCheckpoint {
+                            iterations,
+                            rank,
+                            e,
+                            history: history.clone(),
+                            q_blocks: q_blocks.clone(),
+                            b_blocks: b_blocks.clone(),
+                            rng_draws: draws,
+                            numerics,
+                        };
+                        crate::checkpoint::save_qb_snapshot(h, &ck);
+                    }
+                }
+                lra_recover::record_event(&lra_recover::RecoveryEvent::BudgetTrip {
+                    trip: t.clone(),
+                    iteration: iterations,
+                });
+                trip = Some(t);
+                break;
+            }
+        }
         let kk = k.min(rank_cap - rank);
         // Line 4-5: sketch and correct.
         let omega = randn(n, kk, &mut rng);
@@ -412,5 +492,6 @@ fn rand_qb_ei_inner(
         indicator_history: history,
         a_norm_f,
         timers,
+        trip,
     })
 }

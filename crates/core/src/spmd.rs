@@ -792,6 +792,7 @@ fn drive_spmd_sharded(
             timers,
             threshold: ilut.map(|st| st.report()),
             mem: Some(MemStats::default()),
+            trip: None,
         });
     }
 
@@ -810,6 +811,8 @@ fn drive_spmd_sharded(
     let mut breakdown = None;
     let mut indicator = a_norm_f;
     let mut r11 = 0.0f64;
+    let mut trip: Option<lra_recover::BudgetTrip> = None;
+    let clock = opts.budget.start();
 
     // Resume: every rank loads the same shared store and re-slices its
     // own shard for the *current* rank count — a snapshot written by a
@@ -874,6 +877,52 @@ fn drive_spmd_sharded(
 
     loop {
         ctx.begin_iteration(iterations as u64 + 1);
+        // Budget check at the iteration boundary: every rank evaluates
+        // its *local* verdict (per-rank shard bytes, its own clock),
+        // then the group agrees on one trip through a fixed allreduce —
+        // the same discipline as poison broadcast, so no rank can break
+        // out of the collective schedule alone. `opts` is replicated,
+        // so the `is_unlimited` branch itself cannot desync the group.
+        if !opts.budget.is_unlimited() {
+            let local = clock.check(iterations as u64, eng.shard.resident_bytes() as u64);
+            let agreed = ctx
+                .allreduce_opt(local.map(|t| t.to_wire()), lra_recover::BudgetTrip::merge_wire)
+                .and_then(|(k, x, y)| lra_recover::BudgetTrip::from_wire(k, x, y));
+            if let Some(t) = agreed {
+                // Trip-boundary snapshot (collective — all ranks agreed,
+                // all ranks enter). Skipped when the cadence already
+                // covered this iteration.
+                if let Some(h) = hooks {
+                    if iterations > 0 && !h.should_save(iterations) {
+                        eng.save_checkpoint(
+                            h,
+                            m,
+                            n,
+                            iterations,
+                            k_rank,
+                            indicator,
+                            r11,
+                            &row_map,
+                            &col_map,
+                            &l_cols,
+                            &ut_cols,
+                            &pivot_rows_glob,
+                            &pivot_cols_glob,
+                            &trace,
+                            ilut.as_ref(),
+                        );
+                    }
+                }
+                if rank == 0 {
+                    lra_recover::record_event(&lra_recover::RecoveryEvent::BudgetTrip {
+                        trip: t.clone(),
+                        iteration: iterations,
+                    });
+                }
+                trip = Some(t);
+                break;
+            }
+        }
         if eng.m_act() == 0 || eng.n_cur == 0 || k_rank >= rank_cap {
             if indicator >= stop {
                 breakdown = Some(Breakdown::RankExhausted);
@@ -1111,6 +1160,7 @@ fn drive_spmd_sharded(
         timers,
         threshold: ilut.map(|st| st.report()),
         mem: Some(mem),
+        trip,
     })
 }
 
@@ -1153,6 +1203,7 @@ fn drive_spmd_replicated(
             timers,
             threshold: ilut.map(|st| st.report()),
             mem: None,
+            trip: None,
         });
     }
 
@@ -1170,6 +1221,8 @@ fn drive_spmd_replicated(
     let mut breakdown = None;
     let mut indicator = a_norm_f;
     let mut r11 = 0.0f64;
+    let mut trip: Option<lra_recover::BudgetTrip> = None;
+    let clock = opts.budget.start();
     // Kernel scratch reused across iterations by the Schur update.
     let mut schur_ws = SchurWorkspace::new();
 
@@ -1221,6 +1274,56 @@ fn drive_spmd_replicated(
 
     loop {
         ctx.begin_iteration(iterations as u64 + 1);
+        // Budget agreement at the iteration boundary — identical
+        // protocol (and identical collective schedule) to the sharded
+        // driver, which keeps this oracle bitwise-aligned with it under
+        // any budget: same verdict, same trip iteration.
+        if !opts.budget.is_unlimited() {
+            let local =
+                clock.check(iterations as u64, crate::lucrtp::csc_resident_bytes(&s));
+            let agreed = ctx
+                .allreduce_opt(local.map(|t| t.to_wire()), lra_recover::BudgetTrip::merge_wire)
+                .and_then(|(k, x, y)| lra_recover::BudgetTrip::from_wire(k, x, y));
+            if let Some(t) = agreed {
+                if let Some(h) = hooks {
+                    if rank == 0 && iterations > 0 && !h.should_save(iterations) {
+                        let ck = crate::checkpoint::make_snapshot(
+                            m,
+                            n,
+                            iterations,
+                            k_rank,
+                            indicator,
+                            r11,
+                            &s,
+                            &row_map,
+                            &col_map,
+                            &l_cols,
+                            &ut_cols,
+                            &pivot_rows_glob,
+                            &pivot_cols_glob,
+                            &trace,
+                            ilut.as_ref().map(|st| crate::checkpoint::IlutCheckpoint {
+                                mu: st.mu,
+                                phi: st.phi,
+                                mass_sq: st.mass_sq,
+                                dropped: st.dropped,
+                                control_triggered: st.control_triggered,
+                            }),
+                            opts.numerics,
+                        );
+                        crate::checkpoint::save_snapshot(h, &ck);
+                    }
+                }
+                if rank == 0 {
+                    lra_recover::record_event(&lra_recover::RecoveryEvent::BudgetTrip {
+                        trip: t.clone(),
+                        iteration: iterations,
+                    });
+                }
+                trip = Some(t);
+                break;
+            }
+        }
         if s.rows() == 0 || s.cols() == 0 || k_rank >= rank_cap {
             if indicator >= stop {
                 breakdown = Some(Breakdown::RankExhausted);
@@ -1623,6 +1726,7 @@ fn drive_spmd_replicated(
         timers,
         threshold: ilut.map(|st| st.report()),
         mem: None,
+        trip,
     })
 }
 

@@ -105,15 +105,24 @@ pub fn lu_crtp_supervised_with_store(
         np,
         config,
         policy,
-        |np, cfg, _| {
+        |np, cfg, _, token| {
+            // The supervisor's deadline token rides into the driver's
+            // budget: a deadline that expires mid-attempt stops the
+            // ranks cooperatively at the next iteration boundary
+            // (checkpoint taken, partial factors returned) instead of
+            // letting the attempt run to completion.
+            let mut o = opts.clone();
+            o.budget.cancel.push(token.clone());
             lra_comm::run_with(np, cfg, |ctx| {
-                lu_crtp_spmd_checkpointed(ctx, a, opts, Some(&hooks))
+                lu_crtp_spmd_checkpointed(ctx, a, &o, Some(&hooks))
                     .expect("numerics mode preflighted at the supervised boundary")
             })
         },
-        || {
+        |token| {
+            let mut o = opts.clone();
+            o.budget.cancel.push(token.clone());
             Some(
-                lu_crtp_checkpointed(a, opts, Some(&hooks))
+                lu_crtp_checkpointed(a, &o, Some(&hooks))
                     .expect("numerics mode preflighted at the supervised boundary"),
             )
         },
@@ -158,15 +167,20 @@ pub fn ilut_crtp_supervised_with_store(
         np,
         config,
         policy,
-        |np, cfg, _| {
+        |np, cfg, _, token| {
+            // Same mid-attempt deadline enforcement as the LU variant.
+            let mut o = opts.clone();
+            o.base.budget.cancel.push(token.clone());
             lra_comm::run_with(np, cfg, |ctx| {
-                ilut_crtp_spmd_checkpointed(ctx, a, opts, Some(&hooks))
+                ilut_crtp_spmd_checkpointed(ctx, a, &o, Some(&hooks))
                     .expect("numerics mode preflighted at the supervised boundary")
             })
         },
-        || {
+        |token| {
+            let mut o = opts.clone();
+            o.base.budget.cancel.push(token.clone());
             Some(
-                ilut_crtp_checkpointed(a, opts, Some(&hooks))
+                ilut_crtp_checkpointed(a, &o, Some(&hooks))
                     .expect("numerics mode preflighted at the supervised boundary"),
             )
         },

@@ -34,6 +34,11 @@ pub struct UbvOpts {
     pub max_rank: Option<usize>,
     /// Kernel numerics mode (see [`Numerics`]).
     pub numerics: Numerics,
+    /// Resource budget / cancellation (default unlimited). Checked at
+    /// every block-iteration boundary; a trip stops the loop with the
+    /// blocks accumulated so far. RandUBV has no checkpoint layer, so
+    /// [`UbvResult::into_outcome`] never carries a resume handle.
+    pub budget: lra_recover::Budget,
 }
 
 impl UbvOpts {
@@ -46,12 +51,19 @@ impl UbvOpts {
             par: Parallelism::SEQ,
             max_rank: None,
             numerics: Numerics::Bitwise,
+            budget: lra_recover::Budget::unlimited(),
         }
     }
 
     /// Builder: set the kernel [`Numerics`] mode.
     pub fn with_numerics(mut self, numerics: Numerics) -> Self {
         self.numerics = numerics;
+        self
+    }
+
+    /// Builder: set the [`lra_recover::Budget`].
+    pub fn with_budget(mut self, budget: lra_recover::Budget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -79,6 +91,9 @@ pub struct UbvResult {
     pub a_norm_f: f64,
     /// Kernel timers.
     pub timers: KernelTimers,
+    /// `Some` when a [`lra_recover::Budget`] limit (or cancel token)
+    /// stopped the loop before its own stop rule fired.
+    pub trip: Option<lra_recover::BudgetTrip>,
 }
 
 impl UbvResult {
@@ -88,6 +103,33 @@ impl UbvResult {
         let bv = matmul_nt(&self.b, &self.v, par); // K x n
         matmul_sub_assign(&mut resid, &self.u, &bv, par);
         resid.fro_norm()
+    }
+
+    /// Achieved relative tolerance `indicator / ||A||_F`.
+    pub fn achieved_tolerance(&self) -> f64 {
+        if self.a_norm_f == 0.0 {
+            0.0
+        } else {
+            self.indicator / self.a_norm_f
+        }
+    }
+
+    /// Fold into the typed [`crate::Outcome`] contract. RandUBV has no
+    /// checkpoint layer, so an interruption never carries a resume
+    /// handle — continuing means starting over.
+    pub fn into_outcome(self) -> crate::Outcome<UbvResult> {
+        match self.trip.clone() {
+            None => crate::Outcome::Completed(self),
+            Some(trip) => {
+                let achieved_tolerance = self.achieved_tolerance();
+                crate::Outcome::Interrupted(crate::Interrupted {
+                    partial: self,
+                    trip,
+                    achieved_tolerance,
+                    resume: None,
+                })
+            }
+        }
     }
 }
 
@@ -143,6 +185,7 @@ pub fn rand_ubv(a: &CscMatrix, opts: &UbvOpts) -> UbvResult {
             indicator_history: Vec::new(),
             a_norm_f,
             timers,
+            trip: None,
         };
     }
     let stop = opts.tau * a_norm_f;
@@ -164,8 +207,23 @@ pub fn rand_ubv(a: &CscMatrix, opts: &UbvOpts) -> UbvResult {
     let mut converged = false;
     let mut iterations = 0usize;
     let mut rank = 0usize;
+    let mut trip: Option<lra_recover::BudgetTrip> = None;
+    let clock = opts.budget.start();
 
     while rank < rank_cap {
+        // Budget check at the block boundary; the two bases plus the
+        // bidiagonal blocks are the resident factorization state.
+        if !clock.is_unlimited() {
+            let resident = (rank as u64) * ((m + n + 2 * k) as u64) * 8;
+            if let Some(t) = clock.check(iterations as u64, resident) {
+                lra_recover::record_event(&lra_recover::RecoveryEvent::BudgetTrip {
+                    trip: t.clone(),
+                    iteration: iterations,
+                });
+                trip = Some(t);
+                break;
+            }
+        }
         // U_i R = A V_i - U_{i-1} C_{i-1}^T  (C from the previous step).
         let mut w = timers.time(KernelId::Sketch, || spmm_dense(a, &vk, par));
         if let (Some(ul), Some(cl)) = (u_blocks.last(), c_super.last()) {
@@ -251,5 +309,6 @@ pub fn rand_ubv(a: &CscMatrix, opts: &UbvOpts) -> UbvResult {
         indicator_history: history,
         a_norm_f,
         timers,
+        trip,
     }
 }

@@ -1,0 +1,478 @@
+//! Cooperative cancellation and resource budgets.
+//!
+//! The fixed-precision loops monitor an error indicator every
+//! iteration, so a run stopped early is not a failure — it is a valid
+//! lower-accuracy approximation with a *known* achieved tolerance. This
+//! module supplies the vocabulary for stopping early on purpose:
+//!
+//! - [`CancelToken`] — a shared atomic flag any thread can set; the
+//!   drivers poll it at panel boundaries.
+//! - [`Budget`] — declarative resource limits (wall-clock deadline,
+//!   iteration cap, per-rank memory ceiling) plus any number of cancel
+//!   tokens. [`Budget::start`] captures the entry instant and yields a
+//!   [`BudgetClock`] the iteration loop checks.
+//! - [`BudgetTrip`] — the typed verdict of a check, with a stable
+//!   priority order and a fixed-width wire encoding so an SPMD rank
+//!   group can allreduce the verdicts and *agree* on a single trip at
+//!   the same iteration (the same discipline as poison broadcast:
+//!   never desync the group).
+//! - [`DeadlineGuard`] — a timer thread that cancels a token when a
+//!   deadline elapses, giving [`crate::run_supervised`] mid-attempt
+//!   deadline enforcement through the same token the drivers poll.
+//!
+//! Checks are *cooperative*: a trip is only observed at the loop
+//! boundaries the drivers instrument, which is exactly what makes the
+//! partial result consistent (maps updated, Schur complement current,
+//! checkpoint saveable) and the resumed run bitwise-reproducible.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag.
+///
+/// Cloning yields another handle to the *same* flag. Once cancelled it
+/// stays cancelled; tokens are one-shot by design so a trip observed at
+/// one boundary cannot un-happen before the next.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Has [`CancelToken::cancel`] been called on any clone?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// Why a budgeted run stopped early.
+///
+/// Variants are listed in *priority order*: when several limits trip at
+/// the same boundary (or on different ranks of the same SPMD group),
+/// the highest-priority verdict wins, so every rank reports the same
+/// reason.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetTrip {
+    /// A [`CancelToken`] attached to the budget was cancelled.
+    Cancelled,
+    /// The wall-clock deadline elapsed.
+    DeadlineExceeded {
+        /// Time elapsed since [`Budget::start`] when the check fired.
+        elapsed: Duration,
+        /// The configured deadline.
+        deadline: Duration,
+    },
+    /// Resident factorization state exceeded the per-rank ceiling.
+    MemoryCeiling {
+        /// Observed per-rank resident bytes (group max under SPMD).
+        observed_bytes: u64,
+        /// The configured ceiling.
+        ceiling_bytes: u64,
+    },
+    /// The iteration cap was reached.
+    IterationCap {
+        /// Completed iterations when the check fired.
+        iterations: u64,
+        /// The configured cap.
+        cap: u64,
+    },
+}
+
+impl BudgetTrip {
+    /// Stable short label ("cancel", "deadline", "memory",
+    /// "iteration_cap") for metrics and site tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BudgetTrip::Cancelled => "cancel",
+            BudgetTrip::DeadlineExceeded { .. } => "deadline",
+            BudgetTrip::MemoryCeiling { .. } => "memory",
+            BudgetTrip::IterationCap { .. } => "iteration_cap",
+        }
+    }
+
+    /// Fixed-width wire encoding `(kind, a, b)` for SPMD agreement.
+    /// `kind` is the priority (0 = highest); durations travel as
+    /// microseconds.
+    pub fn to_wire(&self) -> (u8, u64, u64) {
+        match *self {
+            BudgetTrip::Cancelled => (0, 0, 0),
+            BudgetTrip::DeadlineExceeded { elapsed, deadline } => {
+                (1, elapsed.as_micros() as u64, deadline.as_micros() as u64)
+            }
+            BudgetTrip::MemoryCeiling {
+                observed_bytes,
+                ceiling_bytes,
+            } => (2, observed_bytes, ceiling_bytes),
+            BudgetTrip::IterationCap { iterations, cap } => (3, iterations, cap),
+        }
+    }
+
+    /// Decode [`BudgetTrip::to_wire`]. Unknown kinds are `None`.
+    pub fn from_wire(kind: u8, a: u64, b: u64) -> Option<BudgetTrip> {
+        match kind {
+            0 => Some(BudgetTrip::Cancelled),
+            1 => Some(BudgetTrip::DeadlineExceeded {
+                elapsed: Duration::from_micros(a),
+                deadline: Duration::from_micros(b),
+            }),
+            2 => Some(BudgetTrip::MemoryCeiling {
+                observed_bytes: a,
+                ceiling_bytes: b,
+            }),
+            3 => Some(BudgetTrip::IterationCap {
+                iterations: a,
+                cap: b,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Associative, commutative combiner for wire-encoded verdicts:
+    /// the smaller kind (higher priority) wins; equal kinds merge by
+    /// elementwise max, so e.g. the group-wide memory verdict reports
+    /// the *largest* offending rank. Reducing every rank's optional
+    /// verdict with this yields the same agreed trip on all ranks.
+    pub fn merge_wire(x: (u8, u64, u64), y: (u8, u64, u64)) -> (u8, u64, u64) {
+        match x.0.cmp(&y.0) {
+            std::cmp::Ordering::Less => x,
+            std::cmp::Ordering::Greater => y,
+            std::cmp::Ordering::Equal => (x.0, x.1.max(y.1), x.2.max(y.2)),
+        }
+    }
+}
+
+impl fmt::Display for BudgetTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetTrip::Cancelled => write!(f, "cancelled via token"),
+            BudgetTrip::DeadlineExceeded { elapsed, deadline } => write!(
+                f,
+                "deadline exceeded ({:.3}s elapsed of {:.3}s)",
+                elapsed.as_secs_f64(),
+                deadline.as_secs_f64()
+            ),
+            BudgetTrip::MemoryCeiling {
+                observed_bytes,
+                ceiling_bytes,
+            } => write!(
+                f,
+                "memory ceiling exceeded ({observed_bytes} B resident, ceiling {ceiling_bytes} B)"
+            ),
+            BudgetTrip::IterationCap { iterations, cap } => {
+                write!(f, "iteration cap reached ({iterations} of {cap})")
+            }
+        }
+    }
+}
+
+/// Declarative resource limits for one driver invocation.
+///
+/// The default budget is unlimited; every limit is opt-in. Cloning a
+/// budget shares its cancel tokens (they are handles to shared flags).
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// Wall-clock limit measured from [`Budget::start`].
+    pub deadline: Option<Duration>,
+    /// Maximum completed iterations (panels for LU_CRTP/ILUT, block
+    /// steps for RandQB_EI/RandUBV).
+    pub max_iterations: Option<u64>,
+    /// Per-rank resident-bytes ceiling, checked against the same
+    /// quantity `MemStats::peak_rank_bytes` reports.
+    pub memory_ceiling_bytes: Option<u64>,
+    /// External cancellation: the budget trips when *any* token fires.
+    pub cancel: Vec<CancelToken>,
+}
+
+impl Budget {
+    /// An unlimited budget (same as `Budget::default()`).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when no limit or token is attached — drivers skip the
+    /// per-iteration check (and the SPMD agreement collective) entirely.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_iterations.is_none()
+            && self.memory_ceiling_bytes.is_none()
+            && self.cancel.is_empty()
+    }
+
+    /// Set [`Budget::deadline`].
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set [`Budget::max_iterations`].
+    pub fn with_iteration_cap(mut self, cap: u64) -> Self {
+        self.max_iterations = Some(cap);
+        self
+    }
+
+    /// Set [`Budget::memory_ceiling_bytes`].
+    pub fn with_memory_ceiling(mut self, bytes: u64) -> Self {
+        self.memory_ceiling_bytes = Some(bytes);
+        self
+    }
+
+    /// Attach a [`CancelToken`] (in addition to any already attached).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel.push(token);
+        self
+    }
+
+    /// Capture the entry instant and start the clock the iteration
+    /// loop checks.
+    pub fn start(&self) -> BudgetClock {
+        BudgetClock {
+            budget: self.clone(),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// A started [`Budget`]: the entry instant plus the limits.
+#[derive(Debug, Clone)]
+pub struct BudgetClock {
+    budget: Budget,
+    started: Instant,
+}
+
+impl BudgetClock {
+    /// See [`Budget::is_unlimited`].
+    pub fn is_unlimited(&self) -> bool {
+        self.budget.is_unlimited()
+    }
+
+    /// Evaluate every limit against the current state. `iterations` is
+    /// the count of *completed* iterations; `resident_bytes` is this
+    /// rank's resident factorization state. Returns the
+    /// highest-priority trip, or `None` when the run may continue.
+    pub fn check(&self, iterations: u64, resident_bytes: u64) -> Option<BudgetTrip> {
+        if self.budget.cancel.iter().any(CancelToken::is_cancelled) {
+            return Some(BudgetTrip::Cancelled);
+        }
+        if let Some(deadline) = self.budget.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed >= deadline {
+                return Some(BudgetTrip::DeadlineExceeded { elapsed, deadline });
+            }
+        }
+        if let Some(ceiling_bytes) = self.budget.memory_ceiling_bytes {
+            if resident_bytes > ceiling_bytes {
+                return Some(BudgetTrip::MemoryCeiling {
+                    observed_bytes: resident_bytes,
+                    ceiling_bytes,
+                });
+            }
+        }
+        if let Some(cap) = self.budget.max_iterations {
+            if iterations >= cap {
+                return Some(BudgetTrip::IterationCap { iterations, cap });
+            }
+        }
+        None
+    }
+
+    /// Wall time left before the deadline (`None` when no deadline is
+    /// set; zero once it has passed).
+    pub fn remaining_deadline(&self) -> Option<Duration> {
+        self.budget
+            .deadline
+            .map(|d| d.saturating_sub(self.started.elapsed()))
+    }
+}
+
+/// A timer thread that fires a [`CancelToken`] when a deadline elapses.
+///
+/// Dropping the guard disarms and joins the thread, so a run that
+/// finishes before its deadline leaves nothing behind. This is how
+/// [`crate::run_supervised`] turns `RecoveryPolicy::deadline` into
+/// *mid-attempt* enforcement: the token rides into the drivers through
+/// their [`Budget`], and the drivers stop cooperatively at the next
+/// panel boundary instead of running to completion.
+pub struct DeadlineGuard {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DeadlineGuard {
+    /// Cancel `token` once `after` has elapsed (unless dropped first).
+    pub fn arm(token: CancelToken, after: Duration) -> Self {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("lra-deadline-guard".into())
+            .spawn(move || {
+                let (lock, cv) = &*thread_state;
+                let deadline = Instant::now() + after;
+                let mut disarmed = lock.lock().unwrap();
+                loop {
+                    if *disarmed {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        token.cancel();
+                        return;
+                    }
+                    let (guard, _) = cv.wait_timeout(disarmed, deadline - now).unwrap();
+                    disarmed = guard;
+                }
+            })
+            .expect("spawn deadline-guard thread");
+        DeadlineGuard {
+            state,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.state;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for DeadlineGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeadlineGuard").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let clock = Budget::unlimited().start();
+        assert!(clock.is_unlimited());
+        assert_eq!(clock.check(u64::MAX, u64::MAX), None);
+        assert_eq!(clock.remaining_deadline(), None);
+    }
+
+    #[test]
+    fn token_cancel_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        let clock = Budget::unlimited().with_cancel(clone).start();
+        assert_eq!(clock.check(0, 0), Some(BudgetTrip::Cancelled));
+    }
+
+    #[test]
+    fn iteration_cap_and_memory_ceiling_trip() {
+        let clock = Budget::unlimited()
+            .with_iteration_cap(3)
+            .with_memory_ceiling(1000)
+            .start();
+        assert_eq!(clock.check(2, 1000), None);
+        assert!(matches!(
+            clock.check(3, 0),
+            Some(BudgetTrip::IterationCap { iterations: 3, cap: 3 })
+        ));
+        // Memory outranks the iteration cap.
+        assert!(matches!(
+            clock.check(3, 1001),
+            Some(BudgetTrip::MemoryCeiling {
+                observed_bytes: 1001,
+                ceiling_bytes: 1000
+            })
+        ));
+    }
+
+    #[test]
+    fn deadline_trips_and_remaining_saturates() {
+        let clock = Budget::unlimited().with_deadline(Duration::ZERO).start();
+        assert!(matches!(
+            clock.check(0, 0),
+            Some(BudgetTrip::DeadlineExceeded { .. })
+        ));
+        assert_eq!(clock.remaining_deadline(), Some(Duration::ZERO));
+        let far = Budget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .start();
+        assert_eq!(far.check(0, 0), None);
+        assert!(far.remaining_deadline().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn wire_codec_round_trips_and_merge_prioritizes() {
+        let trips = [
+            BudgetTrip::Cancelled,
+            BudgetTrip::DeadlineExceeded {
+                elapsed: Duration::from_micros(1234),
+                deadline: Duration::from_micros(1000),
+            },
+            BudgetTrip::MemoryCeiling {
+                observed_bytes: 7,
+                ceiling_bytes: 5,
+            },
+            BudgetTrip::IterationCap {
+                iterations: 4,
+                cap: 4,
+            },
+        ];
+        for t in &trips {
+            let (k, a, b) = t.to_wire();
+            assert_eq!(BudgetTrip::from_wire(k, a, b).as_ref(), Some(t));
+        }
+        assert_eq!(BudgetTrip::from_wire(200, 0, 0), None);
+
+        // Priority: cancel beats everything; equal kinds take max.
+        let cancel = trips[0].to_wire();
+        let cap = trips[3].to_wire();
+        assert_eq!(BudgetTrip::merge_wire(cap, cancel), cancel);
+        assert_eq!(BudgetTrip::merge_wire(cancel, cap), cancel);
+        let mem_a = (2u8, 10u64, 5u64);
+        let mem_b = (2u8, 7u64, 8u64);
+        assert_eq!(BudgetTrip::merge_wire(mem_a, mem_b), (2, 10, 8));
+    }
+
+    #[test]
+    fn deadline_guard_fires_the_token_and_drop_disarms() {
+        let token = CancelToken::new();
+        let guard = DeadlineGuard::arm(token.clone(), Duration::from_millis(5));
+        let start = Instant::now();
+        while !token.is_cancelled() && start.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(token.is_cancelled(), "guard never fired");
+        drop(guard);
+
+        // A guard dropped before its deadline must not fire.
+        let quiet = CancelToken::new();
+        let g2 = DeadlineGuard::arm(quiet.clone(), Duration::from_secs(3600));
+        drop(g2); // joins the timer thread
+        assert!(!quiet.is_cancelled());
+    }
+}

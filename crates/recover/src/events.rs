@@ -70,6 +70,16 @@ pub enum RecoveryEvent {
         /// Generation actually loaded.
         to: u64,
     },
+    /// A [`crate::Budget`] limit or [`crate::CancelToken`] tripped at a
+    /// panel boundary: the driver checkpointed (when hooks were
+    /// attached) and returned a partial result with its achieved
+    /// tolerance instead of running on.
+    BudgetTrip {
+        /// The typed verdict.
+        trip: crate::BudgetTrip,
+        /// Completed iterations when the trip was observed.
+        iteration: usize,
+    },
 }
 
 impl RecoveryEvent {
@@ -84,6 +94,13 @@ impl RecoveryEvent {
             RecoveryEvent::GuardTrip { .. } => "recover.guard_trip",
             RecoveryEvent::CorruptCheckpoint { .. } => "recover.corrupt_checkpoint",
             RecoveryEvent::Rollback { .. } => "recover.rollback",
+            // External cancellation gets its own counter so operators
+            // can tell "user hit stop" from "resource limit hit".
+            RecoveryEvent::BudgetTrip {
+                trip: crate::BudgetTrip::Cancelled,
+                ..
+            } => "recover.cancelled",
+            RecoveryEvent::BudgetTrip { .. } => "recover.budget_trip",
         }
     }
 }
@@ -115,6 +132,9 @@ impl std::fmt::Display for RecoveryEvent {
             }
             RecoveryEvent::Rollback { from, to } => {
                 write!(f, "rolled back from generation {from} to {to}")
+            }
+            RecoveryEvent::BudgetTrip { trip, iteration } => {
+                write!(f, "budget trip at iteration {iteration}: {trip}")
             }
         }
     }

@@ -14,6 +14,11 @@
 //!   failures (rank death) shrink the grid by one rank and resume from
 //!   checkpoint; when the grid would shrink below `min_ranks`, the
 //!   supervisor degrades to a caller-supplied sequential fallback.
+//! - [`Budget`] / [`CancelToken`] bound a run cooperatively (wall-clock
+//!   deadline, iteration cap, per-rank memory ceiling, external
+//!   cancellation): drivers check at panel boundaries, checkpoint, and
+//!   return a typed partial result carrying its achieved tolerance
+//!   instead of being killed unilaterally.
 //! - Every recovery action is a [`RecoveryEvent`], mirrored into the
 //!   global metrics registry and the Chrome trace by [`record_event`].
 //!
@@ -24,10 +29,12 @@
 //! `PeerFailed` entries are collateral, never the classification basis;
 //! the supervisor always classifies on the *origin* rank's own error.
 
+mod budget;
 mod events;
 mod fault;
 mod store;
 
+pub use budget::{Budget, BudgetClock, BudgetTrip, CancelToken, DeadlineGuard};
 pub use events::{record_event, record_guard_trip, RecoveryEvent};
 pub use fault::{StorageFaultKind, StorageFaultPlan};
 pub use store::{Checkpoint, CheckpointStore, CHECKPOINT_VERSION, DEFAULT_RETENTION};
@@ -172,12 +179,20 @@ fn primary_error<T>(report: &RunReport<T>) -> Option<&CommError> {
 /// Run `attempt` under `policy`, recovering from failures until it
 /// succeeds, the policy is exhausted, or the deadline passes.
 ///
-/// `attempt(np, config, recoveries)` runs the algorithm on an `np`-rank
-/// grid (typically via [`lra_comm::run_with`], resuming from the
-/// caller's [`CheckpointStore`]) and returns the raw [`RunReport`]. The
-/// algorithms here produce *replicated* output — every rank returns the
-/// same factors — so any `Ok` rank carries the complete result and a
-/// partially-failed report still succeeds.
+/// `attempt(np, config, recoveries, token)` runs the algorithm on an
+/// `np`-rank grid (typically via [`lra_comm::run_with`], resuming from
+/// the caller's [`CheckpointStore`]) and returns the raw [`RunReport`].
+/// The algorithms here produce *replicated* output — every rank returns
+/// the same factors — so any `Ok` rank carries the complete result and
+/// a partially-failed report still succeeds.
+///
+/// `token` is the supervisor's [`CancelToken`]. When
+/// [`RecoveryPolicy::deadline`] is set, a [`DeadlineGuard`] cancels it
+/// mid-attempt once the deadline elapses; attempts that thread it into
+/// their driver [`Budget`] then stop cooperatively at the next panel
+/// boundary and return a partial result, instead of running to
+/// completion past the deadline. The deadline is still checked between
+/// attempts, so budget-unaware attempts keep the old behavior.
 ///
 /// On total failure the supervisor classifies the primary error:
 ///
@@ -199,8 +214,8 @@ pub fn run_supervised<T, A, FB>(
     fallback: FB,
 ) -> Result<Supervised<T>, RecoveryError>
 where
-    A: FnMut(usize, &RunConfig, u64) -> RunReport<T>,
-    FB: FnOnce() -> Option<T>,
+    A: FnMut(usize, &RunConfig, u64, &CancelToken) -> RunReport<T>,
+    FB: FnOnce(&CancelToken) -> Option<T>,
 {
     let start = Instant::now();
     let mut np = np.max(1);
@@ -209,6 +224,10 @@ where
     let mut recoveries: u64 = 0;
     let mut events: Vec<RecoveryEvent> = Vec::new();
     let mut fallback = Some(fallback);
+    let token = CancelToken::new();
+    let _deadline_guard = policy
+        .deadline
+        .map(|d| DeadlineGuard::arm(token.clone(), d));
 
     loop {
         if let Some(deadline) = policy.deadline {
@@ -218,7 +237,7 @@ where
             }
         }
 
-        let report = attempt(np, &cfg, recoveries);
+        let report = attempt(np, &cfg, recoveries, &token);
         let (origin, transient, last_error) = match primary_error(&report) {
             None => (0, false, String::new()),
             Some(e) => (e.origin_rank(), e.is_transient(), e.to_string()),
@@ -250,7 +269,13 @@ where
             };
             record_event(&ev);
             events.push(ev);
-            std::thread::sleep(backoff);
+            // Never sleep past the deadline: the loop-top check should
+            // fire the moment the budget is spent, not a backoff later.
+            let sleep_for = match policy.deadline {
+                Some(deadline) => backoff.min(deadline.saturating_sub(start.elapsed())),
+                None => backoff,
+            };
+            std::thread::sleep(sleep_for);
             backoff = (backoff * 2).min(Duration::from_secs(5));
         } else {
             // The dead rank's state is gone; its scheduled kills are
@@ -262,7 +287,7 @@ where
                 };
                 record_event(&ev);
                 events.push(ev);
-                if let Some(value) = fallback.take().and_then(|fb| fb()) {
+                if let Some(value) = fallback.take().and_then(|fb| fb(&token)) {
                     return Ok(Supervised {
                         value,
                         attempts: recoveries,
@@ -308,8 +333,8 @@ mod tests {
             3,
             &RunConfig::default(),
             &RecoveryPolicy::default(),
-            |np, cfg, _| run_with(np, cfg, sum_grid),
-            || None,
+            |np, cfg, _, _| run_with(np, cfg, sum_grid),
+            |_| None,
         )
         .unwrap();
         assert_eq!(got.attempts, 0);
@@ -329,8 +354,8 @@ mod tests {
             3,
             &cfg,
             &RecoveryPolicy::default(),
-            |np, cfg, _| run_with(np, cfg, sum_grid),
-            || None,
+            |np, cfg, _, _| run_with(np, cfg, sum_grid),
+            |_| None,
         )
         .unwrap();
         assert_eq!(got.attempts, 1);
@@ -365,11 +390,11 @@ mod tests {
             2,
             &faulty,
             &policy,
-            |np, _, recoveries| {
+            |np, _, recoveries, _| {
                 let cfg = if recoveries == 0 { &faulty } else { &clean };
                 run_with(np, cfg, sum_grid)
             },
-            || None,
+            |_| None,
         )
         .unwrap();
         assert_eq!(got.attempts, 1);
@@ -388,8 +413,8 @@ mod tests {
             2,
             &cfg,
             &policy,
-            |np, cfg, _| run_with(np, cfg, sum_grid),
-            || Some(-1.0),
+            |np, cfg, _, _| run_with(np, cfg, sum_grid),
+            |_| Some(-1.0),
         )
         .unwrap();
         assert!(got.degraded);
@@ -404,14 +429,14 @@ mod tests {
             1,
             &RunConfig::default(),
             &policy,
-            |_, _, _| RunReport::<u32> {
+            |_, _, _, _| RunReport::<u32> {
                 results: vec![Err(CommError::Failed {
                     rank: 0,
                     payload: "synthetic".to_string(),
                 })],
                 stats: vec![],
             },
-            || None,
+            |_| None,
         )
         .unwrap_err();
         match &err {
@@ -435,8 +460,8 @@ mod tests {
             2,
             &RunConfig::default(),
             &policy,
-            |np, cfg, _| run_with(np, cfg, sum_grid),
-            || None,
+            |np, cfg, _, _| run_with(np, cfg, sum_grid),
+            |_| None,
         )
         .unwrap_err();
         assert!(matches!(err, RecoveryError::DeadlineExceeded { .. }));
@@ -449,7 +474,7 @@ mod tests {
             2,
             &RunConfig::default(),
             &RecoveryPolicy::default(),
-            |_, _, _| RunReport {
+            |_, _, _, _| RunReport {
                 results: vec![
                     Err(CommError::Failed {
                         rank: 0,
@@ -459,10 +484,66 @@ mod tests {
                 ],
                 stats: vec![],
             },
-            || None,
+            |_| None,
         )
         .unwrap();
         assert_eq!(got.value, 99);
         assert_eq!(got.attempts, 0);
+    }
+
+    #[test]
+    fn transient_backoff_is_clamped_to_the_remaining_deadline() {
+        // A pathological backoff (1 h) with a short deadline: every
+        // attempt times out, and without the clamp the supervisor would
+        // sleep the full hour before noticing the deadline. With it,
+        // the run must fail by deadline in well under the backoff.
+        let faulty = RunConfig {
+            watchdog: Duration::from_millis(50),
+            faults: FaultPlan::default().drop_nth_send(0, 0),
+        };
+        let policy = RecoveryPolicy::default()
+            .with_backoff(Duration::from_secs(3600))
+            .with_deadline(Duration::from_millis(500));
+        let start = Instant::now();
+        let err = run_supervised(
+            2,
+            &faulty,
+            &policy,
+            |np, cfg, _, _| run_with(np, cfg, sum_grid),
+            |_| None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::DeadlineExceeded { .. }), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "backoff overshot the deadline: slept {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn deadline_guard_cancels_the_token_mid_attempt() {
+        // The attempt cooperatively polls the supervisor's token — the
+        // way budget-aware drivers do — and must observe the
+        // cancellation *during* the attempt, not between attempts.
+        let policy = RecoveryPolicy::default().with_deadline(Duration::from_millis(30));
+        let got = run_supervised(
+            1,
+            &RunConfig::default(),
+            &policy,
+            |_, _, _, token| {
+                let start = Instant::now();
+                while !token.is_cancelled() && start.elapsed() < Duration::from_secs(10) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                RunReport {
+                    results: vec![Ok(token.is_cancelled())],
+                    stats: vec![],
+                }
+            },
+            |_| None,
+        )
+        .unwrap();
+        assert!(got.value, "token must fire mid-attempt at the deadline");
     }
 }

@@ -1,9 +1,11 @@
 //! Fault-point explorer acceptance: enumerate every injection site of
-//! a small supervised ILUT_CRTP run — every iteration × {kill, timeout}
-//! and every checkpoint save × every storage-fault flavor — and assert
-//! the supervisor invariants at each: recovery or a typed error, never
-//! a panic; same-grid resumes bitwise-identical; corrupted generations
-//! surfaced as `recover.corrupt_checkpoint`, never absorbed silently.
+//! a small supervised ILUT_CRTP run — every iteration × {kill, timeout},
+//! every checkpoint save × every storage-fault flavor, and a budget
+//! cancel at every iteration boundary — and assert the supervisor
+//! invariants at each: recovery, a typed error, or a typed budget trip,
+//! never a panic; same-grid resumes (including resume-from-cancel)
+//! bitwise-identical; corrupted generations surfaced as
+//! `recover.corrupt_checkpoint`, never absorbed silently.
 
 use std::time::Duration;
 
@@ -30,6 +32,7 @@ fn quick_matrix_has_no_invariant_violations() {
         policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
         comm_sites: true,
         storage_sites: true,
+        cancel_sites: true,
         on_disk: Some(dir.clone()),
         strict: true,
     };
@@ -38,10 +41,11 @@ fn quick_matrix_has_no_invariant_violations() {
     println!("{table}");
 
     // Site space: 2 comm sites per iteration + 5 storage flavors per
-    // save (one save per iteration at ckpt_every=1).
+    // save (one save per iteration at ckpt_every=1) + one cancel site
+    // per iteration boundary (0..=iterations).
     assert_eq!(
         report.verdicts.len(),
-        2 * report.iterations + 5 * report.saves as usize,
+        2 * report.iterations + 5 * report.saves as usize + report.iterations + 1,
         "{table}"
     );
     assert!(report.iterations >= 3, "matrix too small to explore: {table}");
@@ -85,6 +89,27 @@ fn quick_matrix_has_no_invariant_violations() {
                         );
                     }
                 }
+            }
+            InjectionSite::Cancel { iteration } => {
+                // A cap below the clean iteration count must trip with
+                // a resumable, bitwise-verified checkpoint; the cap at
+                // the clean count never fires and must change nothing.
+                if (*iteration as usize) < report.iterations {
+                    assert_eq!(v.outcome, SiteOutcome::Interrupted, "{} in\n{table}", v.site);
+                } else {
+                    assert_eq!(
+                        v.outcome,
+                        SiteOutcome::CleanCompletion,
+                        "{} in\n{table}",
+                        v.site
+                    );
+                }
+                assert_eq!(
+                    v.bitwise_match,
+                    Some(true),
+                    "resume-from-cancel must be bitwise: {} in\n{table}",
+                    v.site
+                );
             }
         }
     }

@@ -311,7 +311,8 @@ fn chaos_soak_always_completes_or_fails_typed() {
     // explorer. (The storage half of the site space is explored
     // exhaustively in tests/fault_explorer.rs; here storage faults
     // enter through the seeded residue below, combined with comm
-    // chaos.)
+    // chaos. The cancel half is swept by tests/fault_explorer.rs and
+    // tests/budget.rs.)
     let cfg = ExploreConfig {
         np,
         ckpt_every: 1,
@@ -320,6 +321,7 @@ fn chaos_soak_always_completes_or_fails_typed() {
         policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
         comm_sites: true,
         storage_sites: false,
+        cancel_sites: false,
         on_disk: None,
         strict: true,
     };
