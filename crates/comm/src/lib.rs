@@ -118,6 +118,13 @@ pub struct RunConfig {
     pub watchdog: Duration,
     /// Faults to inject (empty by default).
     pub faults: FaultPlan,
+    /// Trace-lane offset for this execution's rank threads: rank `r`
+    /// traces into lane `lane_base + r`. The default (0) keeps the
+    /// historical one-lane-per-rank layout; a job engine multiplexing
+    /// several rank groups in one process gives each group a disjoint
+    /// base so every job gets its own set of timeline lanes in the
+    /// Chrome trace.
+    pub lane_base: u64,
 }
 
 impl Default for RunConfig {
@@ -130,6 +137,7 @@ impl Default for RunConfig {
         RunConfig {
             watchdog,
             faults: FaultPlan::default(),
+            lane_base: 0,
         }
     }
 }
@@ -144,6 +152,13 @@ impl RunConfig {
     /// Attach a chaos-injection plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Offset this execution's per-rank trace lanes (see
+    /// [`RunConfig::lane_base`]).
+    pub fn with_lane_base(mut self, lane_base: u64) -> Self {
+        self.lane_base = lane_base;
         self
     }
 }
@@ -901,9 +916,11 @@ where
             .enumerate()
             .map(|(rank, inbox)| {
                 scope.spawn(move || {
-                    // One trace lane per rank: SPMD runs export as one
-                    // timeline lane per rank in the Chrome trace.
-                    lra_obs::trace::set_lane(rank as u64);
+                    // One trace lane per rank (offset by the config's
+                    // lane base): SPMD runs export as one timeline lane
+                    // per rank in the Chrome trace, and concurrent rank
+                    // groups with disjoint bases stay disentangled.
+                    lra_obs::trace::set_lane(config.lane_base + rank as u64);
                     let ctx = Ctx {
                         rank,
                         size: np,

@@ -41,7 +41,7 @@ pub use lucrtp::{
     IlutOpts, InvalidInput, IterTrace, LFormation, LuCrtpOpts, LuCrtpResult, MemStats,
     OrderingMode, ThresholdReport, DEFAULT_DENSE_SWITCH,
 };
-pub use outcome::{Interrupted, Outcome, ResumeHandle};
+pub use outcome::{Interrupted, JobId, Outcome, Parked, ResumeHandle};
 pub use qb::{rand_qb_ei, rand_qb_ei_checkpointed, QbError, QbOpts, QbResult, QB_INDICATOR_FLOOR};
 pub use spmd::{
     ilut_crtp_dist, ilut_crtp_dist_checked, ilut_crtp_spmd, ilut_crtp_spmd_checkpointed,

@@ -517,6 +517,7 @@ impl LuCrtpResult {
                 let resume = (self.iterations > 0).then_some(crate::ResumeHandle {
                     kind: "lu_crtp",
                     iteration: self.iterations,
+                    job: None,
                 });
                 crate::Outcome::Interrupted(crate::Interrupted {
                     partial: self,

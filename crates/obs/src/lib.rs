@@ -38,6 +38,6 @@ pub mod report;
 pub mod trace;
 
 pub use json::Json;
-pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry};
+pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry, ScopedMetrics};
 pub use report::{BenchEntry, BenchReport, KernelTime, BENCH_SCHEMA_VERSION};
 pub use trace::{SpanGuard, TraceEvent};

@@ -155,8 +155,72 @@ impl MetricsRegistry {
         Json::Obj(pairs)
     }
 
+    /// A prefixed view of this registry: every metric name recorded
+    /// through the returned handle is rewritten to `prefix.name`. This
+    /// is how per-job (or per-tenant) observability shares one backing
+    /// registry — a job engine hands each job
+    /// `registry.scoped(format!("serve.job.{id}"))` and the job's
+    /// counters, gauges and histograms land under its own dotted
+    /// namespace without any coordination.
+    pub fn scoped(&self, prefix: impl Into<String>) -> ScopedMetrics<'_> {
+        ScopedMetrics {
+            registry: self,
+            prefix: prefix.into(),
+        }
+    }
+
+    /// All metrics whose dotted name starts with `prefix.`, in name
+    /// order — the read side of [`MetricsRegistry::scoped`].
+    pub fn snapshot_prefixed(&self, prefix: &str) -> Vec<(String, MetricValue)> {
+        let dotted = format!("{prefix}.");
+        self.lock()
+            .iter()
+            .filter(|(k, _)| k.starts_with(&dotted))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, MetricValue>> {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// A name-prefixing view over a [`MetricsRegistry`] (see
+/// [`MetricsRegistry::scoped`]). Cloning is cheap; the view borrows the
+/// backing registry.
+#[derive(Debug, Clone)]
+pub struct ScopedMetrics<'a> {
+    registry: &'a MetricsRegistry,
+    prefix: String,
+}
+
+impl ScopedMetrics<'_> {
+    /// The prefix every recorded name is rewritten under.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// [`MetricsRegistry::inc_counter`] under the scope prefix.
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        self.registry
+            .inc_counter(&format!("{}.{name}", self.prefix), delta);
+    }
+
+    /// [`MetricsRegistry::set_gauge`] under the scope prefix.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.registry
+            .set_gauge(&format!("{}.{name}", self.prefix), value);
+    }
+
+    /// [`MetricsRegistry::observe`] under the scope prefix.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.registry
+            .observe(&format!("{}.{name}", self.prefix), value);
+    }
+
+    /// [`MetricsRegistry::get`] under the scope prefix.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.registry.get(&format!("{}.{name}", self.prefix))
     }
 }
 
@@ -235,5 +299,34 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.set_gauge("m", 1.0);
         reg.inc_counter("m", 1);
+    }
+
+    #[test]
+    fn scoped_view_prefixes_and_reads_back() {
+        let reg = MetricsRegistry::new();
+        let job = reg.scoped("serve.job.7");
+        job.inc_counter("driver_calls", 2);
+        job.set_gauge("wall_s", 0.25);
+        job.observe("iter_s", 0.5);
+        assert_eq!(
+            reg.get("serve.job.7.driver_calls"),
+            Some(MetricValue::Counter(2))
+        );
+        assert_eq!(job.get("wall_s"), Some(MetricValue::Gauge(0.25)));
+        // Prefixed snapshot sees exactly the scope, not siblings.
+        reg.inc_counter("serve.job.70.driver_calls", 9);
+        let names: Vec<String> = reg
+            .snapshot_prefixed("serve.job.7")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "serve.job.7.driver_calls".to_string(),
+                "serve.job.7.iter_s".to_string(),
+                "serve.job.7.wall_s".to_string(),
+            ]
+        );
     }
 }

@@ -306,19 +306,28 @@ impl BudgetClock {
 
 /// A timer thread that fires a [`CancelToken`] when a deadline elapses.
 ///
-/// Dropping the guard disarms and joins the thread, so a run that
-/// finishes before its deadline leaves nothing behind. This is how
-/// [`crate::run_supervised`] turns `RecoveryPolicy::deadline` into
-/// *mid-attempt* enforcement: the token rides into the drivers through
-/// their [`Budget`], and the drivers stop cooperatively at the next
-/// panel boundary instead of running to completion.
+/// Disarming the guard — explicitly via [`DeadlineGuard::disarm`] or
+/// implicitly on drop — wakes, stops, **and joins** the watcher thread,
+/// so a run (or a served job) that finishes before its deadline leaves
+/// nothing behind: no timer thread parked until the stale deadline, no
+/// late cancel of a token that may since have been re-attached to other
+/// work. A job engine arming one guard per admitted job can therefore
+/// churn through thousands of short jobs without accumulating watcher
+/// threads (pinned by the `many_short_guards_leak_no_threads`
+/// regression test).
+///
+/// This is how [`crate::run_supervised`] turns
+/// `RecoveryPolicy::deadline` into *mid-attempt* enforcement: the token
+/// rides into the drivers through their [`Budget`], and the drivers
+/// stop cooperatively at the next panel boundary instead of running to
+/// completion.
 pub struct DeadlineGuard {
     state: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl DeadlineGuard {
-    /// Cancel `token` once `after` has elapsed (unless dropped first).
+    /// Cancel `token` once `after` has elapsed (unless disarmed first).
     pub fn arm(token: CancelToken, after: Duration) -> Self {
         let state = Arc::new((Mutex::new(false), Condvar::new()));
         let thread_state = Arc::clone(&state);
@@ -326,18 +335,25 @@ impl DeadlineGuard {
             .name("lra-deadline-guard".into())
             .spawn(move || {
                 let (lock, cv) = &*thread_state;
-                let deadline = Instant::now() + after;
+                // Saturate far-future deadlines instead of overflowing
+                // `Instant` arithmetic: a guard armed with an absurd
+                // duration simply waits until disarmed.
+                let deadline = Instant::now().checked_add(after);
                 let mut disarmed = lock.lock().unwrap();
                 loop {
                     if *disarmed {
                         return;
                     }
                     let now = Instant::now();
-                    if now >= deadline {
-                        token.cancel();
-                        return;
-                    }
-                    let (guard, _) = cv.wait_timeout(disarmed, deadline - now).unwrap();
+                    let remaining = match deadline {
+                        Some(d) if now >= d => {
+                            token.cancel();
+                            return;
+                        }
+                        Some(d) => d - now,
+                        None => Duration::from_secs(86_400),
+                    };
+                    let (guard, _) = cv.wait_timeout(disarmed, remaining).unwrap();
                     disarmed = guard;
                 }
             })
@@ -347,16 +363,31 @@ impl DeadlineGuard {
             handle: Some(handle),
         }
     }
-}
 
-impl Drop for DeadlineGuard {
-    fn drop(&mut self) {
+    /// Explicitly stop the watcher and join its thread *now*. Call this
+    /// the moment the guarded work completes: the guard object may be
+    /// parked in a job table whose entry lives on long after the job
+    /// finished, and a merely-forgotten watcher would otherwise sleep
+    /// until the stale deadline (or fire a token that has been reused).
+    /// Disarming is idempotent with drop — a disarmed guard's drop is a
+    /// no-op join of nothing.
+    pub fn disarm(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
         let (lock, cv) = &*self.state;
         *lock.lock().unwrap() = true;
         cv.notify_all();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -456,6 +487,51 @@ mod tests {
         let mem_a = (2u8, 10u64, 5u64);
         let mem_b = (2u8, 7u64, 8u64);
         assert_eq!(BudgetTrip::merge_wire(mem_a, mem_b), (2, 10, 8));
+    }
+
+    /// Live threads of this process (Linux: one entry per task).
+    /// Returns `None` on platforms without procfs, where the leak
+    /// regression degrades to the join-semantics assertions.
+    fn live_threads() -> Option<usize> {
+        std::fs::read_dir("/proc/self/task")
+            .ok()
+            .map(|d| d.count())
+    }
+
+    #[test]
+    fn many_short_guards_leak_no_threads() {
+        // Server-shaped lifecycle: a burst of short jobs each arms a
+        // deadline guard and completes well before the deadline. Every
+        // watcher must be disarmed AND joined at completion — both via
+        // the explicit `disarm()` a job engine calls and via drop — so
+        // the process thread count returns to its baseline instead of
+        // accumulating one parked watcher per served job.
+        let baseline = live_threads();
+        for batch in 0..8 {
+            let mut guards = Vec::new();
+            for i in 0..16 {
+                let token = CancelToken::new();
+                let guard = DeadlineGuard::arm(token.clone(), Duration::from_secs(3600));
+                if (batch + i) % 2 == 0 {
+                    guard.disarm(); // explicit completion path
+                    assert!(!token.is_cancelled());
+                } else {
+                    guards.push((guard, token)); // drop path, end of batch
+                }
+            }
+            for (_, token) in &guards {
+                assert!(!token.is_cancelled());
+            }
+            drop(guards);
+        }
+        if let (Some(before), Some(after)) = (baseline, live_threads()) {
+            // Unrelated test threads may come and go; what must NOT
+            // appear is anything like the 128 watchers armed above.
+            assert!(
+                after <= before + 4,
+                "deadline-guard watchers leaked: {before} threads before, {after} after"
+            );
+        }
     }
 
     #[test]

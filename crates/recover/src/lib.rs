@@ -380,6 +380,7 @@ mod tests {
         let faulty = RunConfig {
             watchdog: Duration::from_millis(50),
             faults: FaultPlan::default().drop_nth_send(0, 0),
+            ..RunConfig::default()
         };
         let clean = RunConfig {
             watchdog: Duration::from_millis(50),
@@ -500,6 +501,7 @@ mod tests {
         let faulty = RunConfig {
             watchdog: Duration::from_millis(50),
             faults: FaultPlan::default().drop_nth_send(0, 0),
+            ..RunConfig::default()
         };
         let policy = RecoveryPolicy::default()
             .with_backoff(Duration::from_secs(3600))

@@ -213,6 +213,43 @@ impl CscMatrix {
         self.values.iter().fold(0.0, |m, v| m.max(v.abs()))
     }
 
+    /// Heap bytes resident in this matrix's three CSC arrays — the
+    /// quantity cache/memory accounting charges for holding it.
+    pub fn resident_bytes(&self) -> u64 {
+        ((self.colptr.len() + self.rowidx.len()) * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Content fingerprint: a 64-bit digest of the exact stored matrix
+    /// (dimensions, column structure, and value *bits*), built from two
+    /// independent CRC-32 streams — one over the structure
+    /// (`rows`/`cols`/`colptr`/`rowidx`), one over the value bit
+    /// patterns. Two matrices fingerprint equal iff they hold the same
+    /// entries at the same positions with bitwise-identical values, so
+    /// the digest is a valid cache key for factorizations (which are
+    /// deterministic functions of exactly these bits): permuted,
+    /// rescaled, or re-thresholded variants all fingerprint differently,
+    /// while a serialization round trip that preserves the bits
+    /// fingerprints identically.
+    pub fn fingerprint(&self) -> u64 {
+        let mut structure =
+            Vec::with_capacity((2 + self.colptr.len() + self.rowidx.len()) * 8);
+        structure.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        structure.extend_from_slice(&(self.cols as u64).to_le_bytes());
+        for &p in &self.colptr {
+            structure.extend_from_slice(&(p as u64).to_le_bytes());
+        }
+        for &r in &self.rowidx {
+            structure.extend_from_slice(&(r as u64).to_le_bytes());
+        }
+        let mut value_bits = Vec::with_capacity(self.values.len() * 8);
+        for &v in &self.values {
+            value_bits.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        (u64::from(lra_obs::crc::crc32(&structure)) << 32)
+            | u64::from(lra_obs::crc::crc32(&value_bits))
+    }
+
     /// Transposed copy (also serves as the CSR view of `self`).
     pub fn transpose(&self) -> CscMatrix {
         let mut out = CscMatrix::zeros(0, 0);
@@ -846,5 +883,70 @@ mod tests {
         let m = b.finish();
         assert_eq!(m.cols(), 2);
         assert_eq!(m.nnz(), 2);
+    }
+
+    /// A small asymmetric fixture with distinct values in every slot so
+    /// permutations and value edits are all distinguishable.
+    fn fingerprint_fixture() -> CscMatrix {
+        let mut b = SparseBuilder::new(4, 3);
+        b.push_col(&[(0, 1.5), (2, -2.25)]);
+        b.push_col(&[(1, 0.125), (3, 7.0)]);
+        b.push_col(&[(0, -0.5)]);
+        b.finish()
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_matrices_and_permutations() {
+        let a = fingerprint_fixture();
+        let base = a.fingerprint();
+
+        // Deterministic: same bits, same digest.
+        assert_eq!(base, a.clone().fingerprint());
+
+        // A single value-bit change must change the digest.
+        let mut bumped = a.clone();
+        bumped.values[0] = f64::from_bits(bumped.values[0].to_bits() ^ 1);
+        assert_ne!(base, bumped.fingerprint());
+
+        // Column and row permutations move entries: distinct digests.
+        let col_perm = a.select_columns(&[1, 0, 2]);
+        assert_ne!(base, col_perm.fingerprint());
+        let row_perm = a.permute_rows(&[1, 0, 2, 3]);
+        assert_ne!(base, row_perm.fingerprint());
+
+        // Same values at different dimensions are different matrices.
+        let padded = CscMatrix::from_parts(
+            5,
+            3,
+            a.colptr.clone(),
+            a.rowidx.clone(),
+            a.values.clone(),
+        );
+        assert_ne!(base, padded.fingerprint());
+
+        // Structure vs value split: swapping two values while keeping
+        // the pattern fixed still changes the digest.
+        let mut swapped = a.clone();
+        swapped.values.swap(0, 1);
+        assert_ne!(base, swapped.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_survives_round_trips() {
+        let a = fingerprint_fixture();
+        let base = a.fingerprint();
+        // Format round trips preserve the stored bits exactly.
+        assert_eq!(base, a.to_coo().to_csc().fingerprint());
+        assert_eq!(base, a.to_coo().to_csr().to_csc().fingerprint());
+        assert_eq!(base, a.transpose().transpose().fingerprint());
+    }
+
+    #[test]
+    fn resident_bytes_counts_all_three_arrays() {
+        let a = fingerprint_fixture();
+        let want = (a.colptr.len() + a.rowidx.len()) * std::mem::size_of::<usize>()
+            + a.values.len() * std::mem::size_of::<f64>();
+        assert_eq!(a.resident_bytes(), want as u64);
+        assert!(CscMatrix::zeros(2, 2).resident_bytes() > 0); // colptr is real
     }
 }

@@ -53,6 +53,7 @@ pub use lra_ordering as ordering;
 pub use lra_comm as comm;
 pub use lra_qrtp as qrtp;
 pub use lra_recover as recover;
+pub use lra_serve as serve;
 pub use lra_matgen as matgen;
 pub use lra_obs as obs;
 pub use lra_par as par;

@@ -375,3 +375,103 @@ fn chaos_soak_always_completes_or_fails_typed() {
     // guard); seeds 0, 1 and 3 are those flavors.
     assert!(completed >= 3, "only {completed}/4 residue runs completed");
 }
+
+// ---- Satellite: cross-instance resume ---------------------------------
+
+/// A parked job must be resumable by a *different* owner: park an
+/// `Outcome::Interrupted` into an on-disk store, drop every in-memory
+/// handle (the store object, the hooks, the interrupted record), then
+/// reopen the directory as a fresh `CheckpointStore` — the way a new
+/// process would — and resume against it. The resumed run must match
+/// the uninterrupted oracle bit for bit.
+#[test]
+fn parked_job_resumes_bitwise_from_a_freshly_opened_on_disk_store() {
+    use lra::core::{Budget, JobId, Outcome};
+
+    let a = fault_matrix(17);
+    let opts = fault_ilut_opts();
+    let np = 2;
+    let interrupt_at: u64 = 3;
+    let dir = std::env::temp_dir().join(format!(
+        "lra_serve_xresume_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Uninterrupted oracle at the same rank count.
+    let reference = {
+        let mut r = lra::comm::run_infallible(np, |ctx| {
+            ilut_crtp_spmd_checkpointed(ctx, &a, &opts, None).unwrap()
+        });
+        r.swap_remove(0)
+    };
+    assert!(
+        reference.iterations > interrupt_at as usize,
+        "need room to interrupt"
+    );
+
+    // "Process one": interrupt deterministically at iteration 3 (the
+    // cap lives only in this pass'''s budget — the resume below runs
+    // without it), park the Interrupted outcome, drop every in-memory
+    // handle.
+    let parked_iteration = {
+        let store = CheckpointStore::on_disk(&dir);
+        let hooks = RecoveryHooks::new(&store, 1);
+        let capped = opts
+            .clone()
+            .with_budget(Budget::unlimited().with_iteration_cap(interrupt_at));
+        let mut results = lra::comm::run_infallible(np, |ctx| {
+            ilut_crtp_spmd_checkpointed(ctx, &a, &capped, Some(&hooks)).unwrap()
+        });
+        let interrupted = match results.swap_remove(0).into_outcome() {
+            Outcome::Interrupted(i) => i,
+            Outcome::Completed(_) => panic!("iteration cap must interrupt the run"),
+        };
+        let parked = interrupted.park(JobId(7));
+        assert_eq!(parked.preemptions, 1);
+        let at = parked
+            .resume_iteration()
+            .expect("a capped run past iteration 1 has a resume point");
+        assert_eq!(at as u64, interrupt_at);
+        assert!(
+            store.saves() >= interrupt_at,
+            "the trip-boundary snapshots must be on disk"
+        );
+        at
+        // `store`, `hooks`, `parked` all drop here: no in-memory state
+        // survives into the resume below.
+    };
+
+    // "Process two": a freshly opened store over the same directory.
+    let resumed = {
+        let store = CheckpointStore::on_disk(&dir);
+        assert_eq!(store.saves(), 0, "fresh handle starts with fresh counters");
+        let hooks = RecoveryHooks::new(&store, 1);
+        let mut r = lra::comm::run_infallible(np, |ctx| {
+            ilut_crtp_spmd_checkpointed(ctx, &a, &opts, Some(&hooks)).unwrap()
+        });
+        let resumed = r.swap_remove(0);
+        assert!(
+            store.loads() > 0,
+            "the resume must restore from the reopened store, not recompute"
+        );
+        resumed
+    };
+    assert!(
+        resumed.iterations > parked_iteration,
+        "resume continues past the parked iteration"
+    );
+
+    assert_eq!(resumed.rank, reference.rank);
+    assert_eq!(resumed.iterations, reference.iterations);
+    assert_eq!(resumed.pivot_rows, reference.pivot_rows);
+    assert_eq!(resumed.pivot_cols, reference.pivot_cols);
+    assert_eq!(resumed.indicator.to_bits(), reference.indicator.to_bits());
+    for (got, want) in [(&resumed.l, &reference.l), (&resumed.u, &reference.u)] {
+        assert_eq!(got.colptr(), want.colptr());
+        assert_eq!(got.rowidx(), want.rowidx());
+        assert!(bits_eq(got.values(), want.values()));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
