@@ -2,8 +2,9 @@
 //! recovery path — the CI gate for the durability layer.
 //!
 //! For each requested rank count, a clean probe run enumerates every
-//! injection site (each iteration × {rank kill, watchdog timeout},
-//! each checkpoint save × every storage-fault flavor, and a budget
+//! injection site (each iteration × {rank kill, watchdog timeout,
+//! mid-overlap kill, mid-overlap stall}, each checkpoint save × every
+//! storage-fault flavor, and a budget
 //! cancel at every iteration boundary), then one run per site injects
 //! the fault and checks the invariants: successful recovery, a typed
 //! `RecoveryError`, or a typed budget trip — never a panic; same-grid
@@ -12,9 +13,10 @@
 //! `recover.corrupt_checkpoint`. The per-site verdict tables are
 //! printed and written as a JSON artifact; any violation exits 1.
 //!
-//! `--sites comm,storage,cancel` selects the site families (default
-//! all), so CI can split the comm/storage sweep and the cancel sweep
-//! into separate jobs with separate artifacts.
+//! `--sites comm,overlap,storage,cancel` selects the site families
+//! (default all), so CI can split the comm/storage sweep, the
+//! mid-overlap sweep, and the cancel sweep into separate jobs with
+//! separate artifacts.
 //!
 //! ```sh
 //! cargo run -p lra-bench --release --bin fault_explorer -- \
@@ -36,7 +38,7 @@ fn fail(msg: &str) -> ! {
     eprintln!("fault_explorer: {msg}");
     eprintln!(
         "usage: fault_explorer [--np LIST] [--out PATH] [--watchdog-ms N] [--lenient] \
-         [--sites comm,storage,cancel]"
+         [--sites comm,overlap,storage,cancel]"
     );
     std::process::exit(2);
 }
@@ -46,18 +48,21 @@ fn main() {
     let mut np_list: Vec<usize> = vec![2, 4];
     let mut watchdog_ms: u64 = 300;
     let mut strict = true;
-    let (mut comm_sites, mut storage_sites, mut cancel_sites) = (true, true, true);
+    let (mut comm_sites, mut overlap_sites, mut storage_sites, mut cancel_sites) =
+        (true, true, true, true);
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--sites" => {
                 let list = args.next().unwrap_or_else(|| fail("--sites requires a value"));
                 comm_sites = false;
+                overlap_sites = false;
                 storage_sites = false;
                 cancel_sites = false;
                 for family in list.split(',') {
                     match family.trim() {
                         "comm" => comm_sites = true,
+                        "overlap" => overlap_sites = true,
                         "storage" => storage_sites = true,
                         "cancel" => cancel_sites = true,
                         other => fail(&format!("unknown site family {other:?}")),
@@ -102,6 +107,7 @@ fn main() {
             stall: Duration::from_millis(watchdog_ms * 3),
             policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
             comm_sites,
+            overlap_sites,
             storage_sites,
             cancel_sites,
             on_disk: None,

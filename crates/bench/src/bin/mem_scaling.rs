@@ -12,7 +12,12 @@
 //! ```
 //!
 //! The `BENCH_*.json` artifact carries one entry per rank count plus
-//! `mem.*.np{N}` gauges under `metrics`, so baselines diff mechanically.
+//! `mem.*.np{N}` gauges under `metrics`, so baselines diff
+//! mechanically. The same runs also export the overlap counters of the
+//! pipelined re-shard (`comm.overlap_posted.np{N}`,
+//! `comm.overlap_wait_s.np{N}`, `comm.bytes.alltoallv.np{N}`) so the
+//! memory artifact records how much wire traffic the sharding paid and
+//! that the overlapped path was engaged while it was measured.
 
 use lra_bench::{fmt_s, timed, BenchConfig, USAGE};
 use lra_core::{ilut_crtp_spmd, IlutOpts, LuCrtpResult, MemStats};
@@ -53,14 +58,26 @@ fn main() {
     let reg = MetricsRegistry::new();
     let mut entries: Vec<BenchEntry> = Vec::new();
     let mut peaks: Vec<(usize, MemStats)> = Vec::new();
+    let a2a = lra_comm::COLLECTIVE_FAMILIES
+        .iter()
+        .position(|f| *f == "alltoallv")
+        .expect("alltoallv is a collective family");
     for np in [1usize, 4] {
-        let (res, wall) = timed(|| {
-            let mut rs = lra_comm::run_infallible(np, |ctx| ilut_crtp_spmd(ctx, a, &opts));
-            rs.swap_remove(0)
+        let (report, wall) = timed(|| {
+            lra_comm::run_with(np, &lra_comm::RunConfig::default(), |ctx| {
+                ilut_crtp_spmd(ctx, a, &opts)
+            })
         });
+        let posted: u64 = report.stats.iter().map(|s| s.overlap_posted).sum();
+        let wait_ns: u64 = report.stats.iter().map(|s| s.overlap_wait_ns).sum();
+        let wire: u64 = report.stats.iter().map(|s| s.bytes_on_wire[a2a]).sum();
+        let res = report.unwrap_all().swap_remove(0);
         let mem = res.mem.expect("sharded driver reports mem");
         reg.set_gauge(&format!("mem.peak_rank_bytes.np{np}"), mem.peak_rank_bytes as f64);
         reg.set_gauge(&format!("mem.peak_rank_nnz.np{np}"), mem.peak_rank_nnz as f64);
+        reg.set_gauge(&format!("comm.overlap_posted.np{np}"), posted as f64);
+        reg.set_gauge(&format!("comm.overlap_wait_s.np{np}"), wait_ns as f64 / 1e9);
+        reg.set_gauge(&format!("comm.bytes.alltoallv.np{np}"), wire as f64);
         println!(
             "np={np}: wall={} rank={} peak_rank_nnz={} peak_rank_bytes={}",
             fmt_s(wall),

@@ -35,9 +35,11 @@ use std::time::Duration;
 pub struct FaultPlan {
     kills: Vec<(usize, u64)>,
     kills_iter: Vec<(usize, u64)>,
+    kills_overlap: Vec<(usize, u64)>,
     drops: Vec<(usize, u64)>,
     delay: Option<DelaySpec>,
     stalls: Vec<StallSpec>,
+    overlap_stalls: Vec<StallSpec>,
 }
 
 #[derive(Debug, Clone)]
@@ -86,13 +88,51 @@ impl FaultPlan {
         self
     }
 
-    /// A copy of this plan with every kill (op- and iteration-indexed)
-    /// for `rank` removed. Supervisors use this between attempts: an
-    /// injected kill models a one-shot crash, so a resumed execution
-    /// must not re-kill the same rank at the same point forever.
+    /// Kill `rank` in the window between posting a nonblocking
+    /// exchange and completing it, at algorithm iteration `iteration`
+    /// (1-based). The kill fires when the rank enters the completion
+    /// barrier of a [`crate::PendingExchange`] while its announced
+    /// iteration equals `iteration` — i.e. after its sends were posted
+    /// but before the received shard pieces were consumed. This is the
+    /// torn-shard hazard window the overlap chaos sites exercise: the
+    /// victim must surface [`crate::CommError::Failed`] and peers
+    /// blocked draining the exchange must abort typed, never hang.
+    pub fn kill_rank_mid_overlap(mut self, rank: usize, iteration: u64) -> Self {
+        self.kills_overlap.push((rank, iteration.max(1)));
+        self
+    }
+
+    /// Stall `rank` mid-overlap (at the completion barrier of a pending
+    /// exchange, while the announced iteration equals `iteration`),
+    /// one-shot across clones of this plan. A stall longer than the
+    /// run's watchdog makes peers blocked in their own completion
+    /// drains fail with [`crate::CommError::Timeout`] — the transient
+    /// (retryable) mid-overlap fault, complementing
+    /// [`FaultPlan::kill_rank_mid_overlap`]'s permanent one.
+    pub fn stall_rank_once_mid_overlap(
+        mut self,
+        rank: usize,
+        iteration: u64,
+        stall: Duration,
+    ) -> Self {
+        self.overlap_stalls.push(StallSpec {
+            rank,
+            iteration: iteration.max(1),
+            stall,
+            spent: Some(Arc::new(AtomicBool::new(false))),
+        });
+        self
+    }
+
+    /// A copy of this plan with every kill (op-, iteration-, and
+    /// overlap-indexed) for `rank` removed. Supervisors use this
+    /// between attempts: an injected kill models a one-shot crash, so a
+    /// resumed execution must not re-kill the same rank at the same
+    /// point forever.
     pub fn without_kills_for(mut self, rank: usize) -> Self {
         self.kills.retain(|(r, _)| *r != rank);
         self.kills_iter.retain(|(r, _)| *r != rank);
+        self.kills_overlap.retain(|(r, _)| *r != rank);
         self
     }
 
@@ -153,9 +193,11 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self.kills.is_empty()
             && self.kills_iter.is_empty()
+            && self.kills_overlap.is_empty()
             && self.drops.is_empty()
             && self.delay.is_none()
             && self.stalls.is_empty()
+            && self.overlap_stalls.is_empty()
     }
 
     /// The op index at which `rank` must die, if any (earliest wins).
@@ -189,9 +231,32 @@ impl FaultPlan {
         v
     }
 
+    /// The iteration at which `rank` must die mid-overlap, if any
+    /// (earliest wins).
+    pub(crate) fn kill_overlap_for(&self, rank: usize) -> Option<u64> {
+        self.kills_overlap
+            .iter()
+            .filter(|(r, _)| *r == rank)
+            .map(|(_, it)| *it)
+            .min()
+    }
+
     /// Stalls scheduled for `rank`, keyed by iteration.
     pub(crate) fn stalls_for(&self, rank: usize) -> Vec<RankStall> {
         self.stalls
+            .iter()
+            .filter(|s| s.rank == rank)
+            .map(|s| RankStall {
+                iteration: s.iteration,
+                stall: s.stall,
+                spent: s.spent.clone(),
+            })
+            .collect()
+    }
+
+    /// Mid-overlap stalls scheduled for `rank`, keyed by iteration.
+    pub(crate) fn overlap_stalls_for(&self, rank: usize) -> Vec<RankStall> {
+        self.overlap_stalls
             .iter()
             .filter(|s| s.rank == rank)
             .map(|s| RankStall {
@@ -339,6 +404,25 @@ mod tests {
         assert!(!b.arm(), "the clone shares the spent flag");
         assert!(once.stalls_for(1).is_empty());
         assert!(!once.is_empty());
+    }
+
+    #[test]
+    fn overlap_kills_resolved_and_stripped() {
+        let p = FaultPlan::new()
+            .kill_rank_mid_overlap(1, 4)
+            .kill_rank_mid_overlap(1, 2)
+            .stall_rank_once_mid_overlap(0, 3, Duration::from_millis(5));
+        assert!(!p.is_empty());
+        assert_eq!(p.kill_overlap_for(1), Some(2), "earliest wins");
+        assert_eq!(p.kill_overlap_for(0), None);
+        let q = p.clone().without_kills_for(1);
+        assert_eq!(q.kill_overlap_for(1), None);
+        // Stalls survive kill stripping; the one-shot flag is shared
+        // across clones like iteration stalls.
+        let a = &p.overlap_stalls_for(0)[0];
+        assert_eq!(a.iteration, 3);
+        assert!(a.arm());
+        assert!(!q.overlap_stalls_for(0)[0].arm());
     }
 
     #[test]

@@ -39,6 +39,20 @@
 //!   (messages, bytes via [`MessageSize`], pending-buffer high-water
 //!   mark) are reported alongside the results.
 //!
+//! ## Nonblocking collectives
+//!
+//! [`Ctx::post_alltoallv`], [`Ctx::post_scatterv`], and
+//! [`Ctx::post_gatherv`] split a size-aware collective into a *post*
+//! (all sends happen immediately — sends never block here) and a
+//! deferred completion barrier on the returned [`PendingExchange`].
+//! Compute run between post and [`PendingExchange::complete`] hides
+//! the wire; each exchange drains under a unique tag so interleaved
+//! eager collectives can never cross wires with it. Faults landing in
+//! the window surface as typed [`CommError`]s at the barrier (poison
+//! broadcast + watchdog, same as eager), and per-rank [`CommStats`]
+//! account the hidden window (`overlap_hidden_ns`) against the blocked
+//! drain time (`overlap_wait_ns` vs the eager `alltoallv_wait_ns`).
+//!
 //! [`run`] returns `Vec<Result<T, CommError>>`; [`run_infallible`]
 //! unwraps for callers on the happy path.
 
@@ -48,7 +62,7 @@ mod stats;
 
 pub use error::{CommError, TimeoutDiagnostics};
 pub use fault::FaultPlan;
-pub use stats::{CommStats, MessageSize};
+pub use stats::{CommStats, MessageSize, COLLECTIVE_FAMILIES};
 
 use fault::{RankDelay, RankStall};
 use std::any::Any;
@@ -76,6 +90,16 @@ struct Envelope {
 const COLL: u64 = 1 << 63;
 /// Control-channel namespace (top two bits): poison broadcast.
 const CTRL_POISON: u64 = COLL | (1 << 62);
+/// Nonblocking-exchange namespace: each posted exchange gets a unique
+/// tag `PENDING | (seq << 3) | base`, where `seq` is the rank-local
+/// post counter (kept in lockstep across ranks by the uniform
+/// program-order contract) and `base` is the family's eager collective
+/// tag (4 = scatterv, 5 = gatherv, 6 = alltoallv). Unique tags mean a
+/// pending exchange can never steal — or feed — envelopes belonging to
+/// an eager collective or another pending exchange, no matter how much
+/// compute (including other collectives) runs between post and
+/// complete.
+const PENDING: u64 = COLL | (1 << 61);
 
 /// Poll quantum for blocked receives: the longest a rank can take to
 /// notice an out-of-band poison flag when no wake-up envelope reaches
@@ -242,15 +266,18 @@ pub struct Ctx {
     // Chaos-injection state for this rank.
     kill_at: Option<u64>,
     kill_at_iter: Option<u64>,
+    kill_at_overlap: Option<u64>,
     drops: Vec<u64>,
     delay: Option<RankDelay>,
     stalls: Vec<RankStall>,
+    overlap_stalls: Vec<RankStall>,
     // Counters.
     stats: RefCell<CommStats>,
     op_index: Cell<u64>,
     coll_pc: Cell<u64>,
     in_collective: Cell<Option<&'static str>>,
     send_index: Cell<u64>,
+    pending_seq: Cell<u64>,
 }
 
 thread_local! {
@@ -413,6 +440,14 @@ impl Ctx {
             let mut st = self.stats.borrow_mut();
             st.msgs_sent += 1;
             st.bytes_sent += bytes as u64;
+            // Attribute wire traffic to the logical collective family
+            // this send happens inside of, if any (nonblocking posts
+            // attribute through their base family name).
+            if let Some(name) = self.in_collective.get() {
+                if let Some(i) = stats::family_index(name) {
+                    st.bytes_on_wire[i] += bytes as u64;
+                }
+            }
         }
         self.senders[dst]
             .send(Envelope {
@@ -768,6 +803,11 @@ impl Ctx {
                     self.send_msg(dst, COLL | 6, part)?;
                 }
             }
+            // The drain is where the eager exchange pays the wire: each
+            // receive blocks until the source rank has posted its sends.
+            // Timed so the overlapped path can be held to the fraction
+            // of this wall time it hides (`kernel_bench` overlap gate).
+            let drain_start = Instant::now();
             let mut out = Vec::with_capacity(self.size);
             for src in 0..self.size {
                 if src == self.rank {
@@ -776,8 +816,167 @@ impl Ctx {
                     out.push(self.recv_msg::<M>(src, COLL | 6)?);
                 }
             }
+            self.stats.borrow_mut().alltoallv_wait_ns +=
+                drain_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
             Ok(out)
         }))
+    }
+
+    /// Allocate the unique tag for the next nonblocking exchange of
+    /// family `base` (the eager tag low bits: 4/5/6). Every rank posts
+    /// exchanges in the same program order, so rank-local counters
+    /// agree group-wide without communication.
+    fn next_pending_tag(&self, base: u64) -> u64 {
+        let seq = self.pending_seq.get();
+        self.pending_seq.set(seq + 1);
+        PENDING | (seq << 3) | base
+    }
+
+    /// Chaos hook at the completion barrier of a pending exchange: the
+    /// window between post and complete is where a fault tears the
+    /// pipeline apart, so [`FaultPlan::kill_rank_mid_overlap`] and
+    /// [`FaultPlan::stall_rank_once_mid_overlap`] fire here, keyed by
+    /// the iteration announced via [`Ctx::begin_iteration`].
+    fn overlap_fault_point(&self) {
+        let iteration = self.stats.borrow().iterations;
+        if iteration == 0 {
+            return;
+        }
+        for stall in &self.overlap_stalls {
+            if stall.iteration == iteration && stall.arm() {
+                self.stats.borrow_mut().fault_stalled += 1;
+                lra_obs::trace::instant("comm.fault_stall");
+                std::thread::sleep(stall.stall);
+            }
+        }
+        if self.kill_at_overlap == Some(iteration) {
+            raise::<()>(CommError::Failed {
+                rank: self.rank,
+                payload: format!(
+                    "fault injection: rank {} killed mid-overlap at iteration {iteration}",
+                    self.rank
+                ),
+            });
+        }
+    }
+
+    /// Nonblocking personalized all-to-all: post every send of
+    /// [`Ctx::alltoallv`] *now* (sends never block — the inbox channels
+    /// are unbounded) and defer the receive drain to the returned
+    /// handle's [`PendingExchange::complete`]. Compute run between the
+    /// post and the completion barrier overlaps the wire: by the time
+    /// `complete` drains, slower peers have long since posted, so the
+    /// blocked time the eager drain pays (`alltoallv_wait_ns`) shrinks
+    /// to near zero (`overlap_wait_ns`).
+    ///
+    /// Fault semantics are identical to the eager collective: the post
+    /// performs real sends (op-indexed kills, drops, and delays apply),
+    /// and the completion drain runs under the poison broadcast and the
+    /// recv watchdog — a peer dying mid-overlap surfaces as a typed
+    /// [`CommError`] at `complete`, never a hang or a torn result.
+    pub fn post_alltoallv<M: Send + 'static>(&self, parts: Vec<M>) -> PendingExchange<'_, M> {
+        let tag = self.next_pending_tag(6);
+        let slots = unwrap_comm(self.collective("alltoallv.post", || {
+            assert_eq!(
+                parts.len(),
+                self.size,
+                "post_alltoallv: need one part per rank"
+            );
+            let mut slots = Vec::with_capacity(self.size);
+            for (dst, part) in parts.into_iter().enumerate() {
+                if dst == self.rank {
+                    slots.push(PendingSlot::Ready(part));
+                } else {
+                    self.send_msg(dst, tag, part)?;
+                    slots.push(PendingSlot::From(dst));
+                }
+            }
+            Ok(slots)
+        }));
+        self.finish_post(tag, "alltoallv.complete", slots)
+    }
+
+    /// Nonblocking [`Ctx::scatterv`]: the root posts one part to every
+    /// rank now; each rank's [`PendingExchange::complete`] returns a
+    /// one-element vector holding its share. See
+    /// [`Ctx::post_alltoallv`] for overlap and fault semantics.
+    pub fn post_scatterv<M: Send + 'static>(
+        &self,
+        root: usize,
+        parts: Option<Vec<M>>,
+    ) -> PendingExchange<'_, M> {
+        let tag = self.next_pending_tag(4);
+        let slots = unwrap_comm(self.collective("scatterv.post", || {
+            if self.rank == root {
+                let parts = parts.expect("post_scatterv: root must supply parts");
+                assert_eq!(
+                    parts.len(),
+                    self.size,
+                    "post_scatterv: root must supply one part per rank"
+                );
+                let mut own = None;
+                for (dst, part) in parts.into_iter().enumerate() {
+                    if dst == self.rank {
+                        own = Some(part);
+                    } else {
+                        self.send_msg(dst, tag, part)?;
+                    }
+                }
+                Ok(vec![PendingSlot::Ready(
+                    own.expect("post_scatterv: own part present"),
+                )])
+            } else {
+                Ok(vec![PendingSlot::From(root)])
+            }
+        }));
+        self.finish_post(tag, "scatterv.complete", slots)
+    }
+
+    /// Nonblocking [`Ctx::gatherv`]: every rank posts its contribution
+    /// now; the root's [`PendingExchange::complete`] returns all parts
+    /// in rank order, every other rank's returns an empty vector. See
+    /// [`Ctx::post_alltoallv`] for overlap and fault semantics.
+    pub fn post_gatherv<M: Send + 'static>(&self, root: usize, mine: M) -> PendingExchange<'_, M> {
+        let tag = self.next_pending_tag(5);
+        let slots = unwrap_comm(self.collective("gatherv.post", || {
+            if self.rank == root {
+                let mut slots = Vec::with_capacity(self.size);
+                let mut own = Some(mine);
+                for src in 0..self.size {
+                    if src == self.rank {
+                        slots.push(PendingSlot::Ready(
+                            own.take().expect("post_gatherv: own part present"),
+                        ));
+                    } else {
+                        slots.push(PendingSlot::From(src));
+                    }
+                }
+                Ok(slots)
+            } else {
+                self.send_msg(root, tag, mine)?;
+                Ok(Vec::new())
+            }
+        }));
+        self.finish_post(tag, "gatherv.complete", slots)
+    }
+
+    /// Shared tail of every `post_*`: count the post, mark the trace,
+    /// and start the overlap-window clock.
+    fn finish_post<M: Send + 'static>(
+        &self,
+        tag: u64,
+        complete_name: &'static str,
+        slots: Vec<PendingSlot<M>>,
+    ) -> PendingExchange<'_, M> {
+        self.stats.borrow_mut().overlap_posted += 1;
+        lra_obs::trace::instant("comm.overlap.post");
+        PendingExchange {
+            ctx: self,
+            complete_name,
+            tag,
+            slots,
+            posted_at: Instant::now(),
+        }
     }
 
     fn bcast_parent(&self, root: usize) -> usize {
@@ -834,6 +1033,92 @@ impl Ctx {
                 });
             }
         }
+    }
+}
+
+/// One result slot of a pending exchange: either the part that never
+/// touches the wire (this rank's own contribution) or the source rank
+/// still owing us an envelope.
+enum PendingSlot<M> {
+    Ready(M),
+    From(usize),
+}
+
+/// A posted-but-not-completed nonblocking exchange (see
+/// [`Ctx::post_alltoallv`], [`Ctx::post_scatterv`],
+/// [`Ctx::post_gatherv`]). All sends already happened at post time;
+/// this handle owns the receive side. Complete it with
+/// [`PendingExchange::complete`] (barrier: returns every part) or
+/// [`PendingExchange::complete_with`] (streaming: hands each part to a
+/// callback as soon as it is drained, so per-part compute interleaves
+/// with the remaining wire time).
+///
+/// Dropping the handle without completing abandons only the *receives*:
+/// the uniquely tagged envelopes sit harmlessly in this rank's inbox
+/// (they can never match another collective), which is exactly what
+/// happens when a fault unwinds a rank mid-overlap. Peers blocked on
+/// our part were already fed at post time or are woken by the poison
+/// broadcast.
+#[must_use = "a posted exchange must be completed before its results are needed"]
+pub struct PendingExchange<'a, M> {
+    ctx: &'a Ctx,
+    complete_name: &'static str,
+    tag: u64,
+    slots: Vec<PendingSlot<M>>,
+    posted_at: Instant,
+}
+
+impl<M: Send + 'static> PendingExchange<'_, M> {
+    /// Completion barrier: drain every outstanding receive (ascending
+    /// source order) and return the parts in slot order — for
+    /// `post_alltoallv` that is `out[s]` = the part rank `s` addressed
+    /// to us, exactly like the eager [`Ctx::alltoallv`]; for
+    /// `post_scatterv` a one-element vector; for `post_gatherv` all
+    /// parts on the root and an empty vector elsewhere.
+    pub fn complete(self) -> Vec<M> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        self.complete_with(|_, m| out.push(m));
+        out
+    }
+
+    /// Streaming completion: drain the slots in order, invoking
+    /// `sink(slot_index, part)` for each part the moment it is
+    /// available. Compute done inside the callback overlaps the drain
+    /// of the *remaining* slots — the software-pipeline shape the
+    /// re-shard uses to hide per-piece Schur updates behind the wire.
+    ///
+    /// Blocked drain time is accounted to `overlap_wait_ns` (callback
+    /// time is not), and the post→complete window to
+    /// `overlap_hidden_ns`.
+    pub fn complete_with(mut self, mut sink: impl FnMut(usize, M)) {
+        let ctx = self.ctx;
+        {
+            let mut st = ctx.stats.borrow_mut();
+            st.overlap_hidden_ns += self
+                .posted_at
+                .elapsed()
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
+        }
+        lra_obs::trace::instant("comm.overlap.complete");
+        ctx.overlap_fault_point();
+        let slots = std::mem::take(&mut self.slots);
+        let tag = self.tag;
+        unwrap_comm(ctx.collective(self.complete_name, || {
+            for (i, slot) in slots.into_iter().enumerate() {
+                match slot {
+                    PendingSlot::Ready(m) => sink(i, m),
+                    PendingSlot::From(src) => {
+                        let wait_start = Instant::now();
+                        let m = ctx.recv_msg::<M>(src, tag)?;
+                        ctx.stats.borrow_mut().overlap_wait_ns +=
+                            wait_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        sink(i, m);
+                    }
+                }
+            }
+            Ok(())
+        }));
     }
 }
 
@@ -931,14 +1216,17 @@ where
                         watchdog: config.watchdog.max(Duration::from_millis(1)),
                         kill_at: config.faults.kill_op_for(rank),
                         kill_at_iter: config.faults.kill_iteration_for(rank),
+                        kill_at_overlap: config.faults.kill_overlap_for(rank),
                         drops: config.faults.drops_for(rank),
                         delay: config.faults.delay_for(rank),
                         stalls: config.faults.stalls_for(rank),
+                        overlap_stalls: config.faults.overlap_stalls_for(rank),
                         stats: RefCell::new(CommStats::default()),
                         op_index: Cell::new(0),
                         coll_pc: Cell::new(0),
                         in_collective: Cell::new(None),
                         send_index: Cell::new(0),
+                        pending_seq: Cell::new(0),
                     };
                     let outcome = catch_unwind(AssertUnwindSafe(|| f_ref(&ctx)));
                     let result = match outcome {
@@ -1165,6 +1453,152 @@ mod tests {
         // broadcasts it via alltoallv, so the gather sums all 16 copies.
         let expect: usize = (0..5).map(|q| 4 * (0..4).map(|r| r * 10 + q).sum::<usize>()).sum();
         assert_eq!(out, vec![0, 0, 0, expect]);
+    }
+
+    #[test]
+    fn post_alltoallv_matches_eager_with_interleaved_collectives() {
+        for np in [1usize, 2, 3, 4] {
+            let report = run_with(np, &RunConfig::default(), |ctx| {
+                let parts: Vec<(usize, usize)> =
+                    (0..ctx.size()).map(|dst| (ctx.rank(), dst)).collect();
+                let pend = ctx.post_alltoallv(parts);
+                // Overlap window: unrelated collectives (including an
+                // eager alltoallv of the *same* payload type) must not
+                // cross wires with the pending exchange.
+                let sum = ctx.allreduce(ctx.rank(), |a, b| a + b);
+                let eager = ctx.alltoallv(vec![(99usize, ctx.rank()); ctx.size()]);
+                let out = pend.complete();
+                (out, sum, eager)
+            });
+            let stats = report.stats.clone();
+            for (dst, res) in report.unwrap_all().into_iter().enumerate() {
+                let (out, sum, eager) = res;
+                for (src, got) in out.iter().enumerate() {
+                    assert_eq!(*got, (src, dst), "np={np}");
+                }
+                assert_eq!(sum, (0..np).sum::<usize>());
+                assert!(eager.iter().all(|&(k, _)| k == 99));
+            }
+            for st in &stats {
+                assert_eq!(st.overlap_posted, 1, "np={np}");
+                let a2a = COLLECTIVE_FAMILIES.iter().position(|f| *f == "alltoallv").unwrap();
+                if np > 1 {
+                    assert!(st.bytes_on_wire[a2a] > 0, "np={np}: post traffic attributed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn post_scatterv_and_gatherv_roundtrip() {
+        let out = run_infallible(4, |ctx| {
+            let parts = (ctx.rank() == 1).then(|| (0..4usize).map(|r| r * r).collect());
+            let pend = ctx.post_scatterv(1, parts);
+            let noise = ctx.allreduce(1usize, |a, b| a + b);
+            let mine = pend.complete().pop().expect("scatterv share");
+            let back = ctx.post_gatherv(2, mine + noise);
+            ctx.barrier();
+            back.complete()
+        });
+        assert!(out[0].is_empty() && out[1].is_empty() && out[3].is_empty());
+        assert_eq!(out[2], vec![4, 5, 8, 13], "r*r + np gathered in rank order");
+    }
+
+    #[test]
+    fn overlapping_pending_exchanges_complete_out_of_order() {
+        // Two outstanding exchanges of the same type, completed in
+        // reverse post order: unique per-post tags keep them apart.
+        let out = run_infallible(3, |ctx| {
+            let a = ctx.post_alltoallv(vec![(b'a', ctx.rank()); 3]);
+            let b = ctx.post_alltoallv(vec![(b'b', ctx.rank()); 3]);
+            let got_b = b.complete();
+            let got_a = a.complete();
+            (got_a, got_b)
+        });
+        for (got_a, got_b) in out {
+            assert_eq!(got_a, (0..3).map(|s| (b'a', s)).collect::<Vec<_>>());
+            assert_eq!(got_b, (0..3).map(|s| (b'b', s)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn complete_with_streams_in_slot_order() {
+        let out = run_infallible(4, |ctx| {
+            let pend = ctx.post_alltoallv(vec![ctx.rank(); 4]);
+            let mut seen = Vec::new();
+            pend.complete_with(|slot, part| seen.push((slot, part)));
+            seen
+        });
+        for per_rank in out {
+            assert_eq!(per_rank, (0..4).map(|s| (s, s)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn mid_overlap_kill_is_typed_on_every_rank() {
+        let cfg = RunConfig::default()
+            .with_watchdog(Duration::from_secs(5))
+            .with_faults(FaultPlan::new().kill_rank_mid_overlap(1, 2));
+        let report = run_with(3, &cfg, |ctx| {
+            let mut acc = 0usize;
+            for it in 1..=3u64 {
+                ctx.begin_iteration(it);
+                let pend = ctx.post_alltoallv(vec![ctx.rank(); 3]);
+                acc += ctx.allreduce(1usize, |a, b| a + b);
+                acc += pend.complete().into_iter().sum::<usize>();
+                ctx.barrier();
+            }
+            acc
+        });
+        assert!(!report.all_ok());
+        match report.results[1].as_ref().unwrap_err() {
+            CommError::Failed { rank: 1, payload } => {
+                assert!(payload.contains("mid-overlap"), "{payload}");
+            }
+            other => panic!("victim: {other:?}"),
+        }
+        for r in [0usize, 2] {
+            assert!(
+                report.results[r].as_ref().unwrap_err().is_peer_failure(),
+                "rank {r}: {:?}",
+                report.results[r]
+            );
+        }
+    }
+
+    #[test]
+    fn mid_overlap_stall_times_out_peers_not_hangs() {
+        // The stalled rank already posted its sends, so peers drain
+        // their exchange fine — they block (and must time out, typed)
+        // in the *next* collective that needs the sleeper.
+        let cfg = RunConfig::default()
+            .with_watchdog(Duration::from_millis(80))
+            .with_faults(FaultPlan::new().stall_rank_once_mid_overlap(
+                1,
+                1,
+                Duration::from_millis(600),
+            ));
+        let report = run_with(3, &cfg, |ctx| {
+            ctx.begin_iteration(1);
+            let pend = ctx.post_alltoallv(vec![ctx.rank(); 3]);
+            let out: usize = pend.complete().into_iter().sum();
+            ctx.barrier();
+            out
+        });
+        assert!(!report.all_ok());
+        let mut timeouts = 0;
+        for r in &report.results {
+            match r {
+                Ok(_) => {}
+                Err(CommError::Timeout(_)) => timeouts += 1,
+                Err(e) => assert!(
+                    e.is_peer_failure() || matches!(e, CommError::Failed { .. }),
+                    "untyped failure: {e:?}"
+                ),
+            }
+        }
+        assert!(timeouts >= 1, "a peer watchdog must trip: {:?}", report.results);
+        assert!(report.stats[1].fault_stalled >= 1);
     }
 
     #[test]

@@ -27,6 +27,29 @@ pub trait MessageSize {
 
 impl<T> MessageSize for T {}
 
+/// Logical collective families whose wire traffic is attributed
+/// separately in [`CommStats::bytes_on_wire`]. Nonblocking posts
+/// (`alltoallv.post` etc.) attribute to their base family, so the
+/// `comm.bytes.*` series stays comparable across the eager and
+/// overlapped drivers.
+pub const COLLECTIVE_FAMILIES: [&str; 8] = [
+    "barrier",
+    "broadcast",
+    "allgather",
+    "reduce",
+    "allreduce",
+    "scatterv",
+    "gatherv",
+    "alltoallv",
+];
+
+/// Index of a collective span name in [`COLLECTIVE_FAMILIES`], keyed
+/// by the base family (`"alltoallv.post"` → `"alltoallv"`).
+pub(crate) fn family_index(name: &str) -> Option<usize> {
+    let base = name.split('.').next().unwrap_or(name);
+    COLLECTIVE_FAMILIES.iter().position(|f| *f == base)
+}
+
 /// Communication counters for one rank over one [`crate::run_with`]
 /// execution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -62,6 +85,25 @@ pub struct CommStats {
     /// Iteration announcements stalled by the fault plan (the
     /// timeout-injection hook [`crate::FaultPlan::stall_rank_at_iteration`]).
     pub fault_stalled: u64,
+    /// Bytes enqueued from inside each collective family, indexed by
+    /// [`COLLECTIVE_FAMILIES`]. Point-to-point sends outside any
+    /// collective are counted in [`CommStats::bytes_sent`] only.
+    pub bytes_on_wire: [u64; 8],
+    /// Nonblocking exchanges posted via
+    /// [`crate::Ctx::post_alltoallv`] / `post_scatterv` / `post_gatherv`.
+    pub overlap_posted: u64,
+    /// Nanoseconds of compute run between posting a nonblocking
+    /// exchange and entering its completion barrier — the window the
+    /// wire had to drain behind useful work.
+    pub overlap_hidden_ns: u64,
+    /// Nanoseconds spent *blocked* draining receives inside
+    /// [`crate::PendingExchange::complete`] (or `complete_with`),
+    /// i.e. wire time the overlap failed to hide.
+    pub overlap_wait_ns: u64,
+    /// Nanoseconds spent blocked in the eager [`crate::Ctx::alltoallv`]
+    /// receive drain — the non-overlapped re-shard wire time the
+    /// pending-exchange path is measured against.
+    pub alltoallv_wait_ns: u64,
 }
 
 impl CommStats {
@@ -87,6 +129,33 @@ impl CommStats {
             reg.inc_counter(&format!("comm.rank{rank}.{name}"), value);
             reg.inc_counter(&format!("comm.total.{name}"), value);
         }
+        let overlap: [(&str, u64); 4] = [
+            ("overlap_posted", self.overlap_posted),
+            ("overlap_hidden_ns", self.overlap_hidden_ns),
+            ("overlap_wait_ns", self.overlap_wait_ns),
+            ("alltoallv_wait_ns", self.alltoallv_wait_ns),
+        ];
+        for (name, value) in overlap {
+            reg.inc_counter(&format!("comm.rank{rank}.{name}"), value);
+            reg.inc_counter(&format!("comm.total.{name}"), value);
+        }
+        // Per-collective wire traffic: `comm.bytes.<family>` accumulates
+        // across ranks (counters add), matching the scrape contract.
+        for (i, family) in COLLECTIVE_FAMILIES.iter().enumerate() {
+            if self.bytes_on_wire[i] > 0 {
+                reg.inc_counter(&format!("comm.bytes.{family}"), self.bytes_on_wire[i]);
+            }
+        }
+        // Aggregate hidden-window gauge: accumulate across the ranks of
+        // one report (gauges overwrite, so fold in the previous value).
+        let prev = match reg.get("comm.overlap.hidden_ns") {
+            Some(lra_obs::MetricValue::Gauge(g)) => g,
+            _ => 0.0,
+        };
+        reg.set_gauge(
+            "comm.overlap.hidden_ns",
+            prev + self.overlap_hidden_ns as f64,
+        );
         reg.set_gauge(
             &format!("comm.rank{rank}.max_pending"),
             self.max_pending as f64,
@@ -147,6 +216,44 @@ mod tests {
         assert_eq!(
             reg.get("comm.rank0.max_pending"),
             Some(MetricValue::Gauge(2.0))
+        );
+    }
+
+    #[test]
+    fn family_index_strips_subspan_suffix() {
+        assert_eq!(family_index("alltoallv"), Some(7));
+        assert_eq!(family_index("alltoallv.post"), Some(7));
+        assert_eq!(family_index("gatherv.complete"), Some(6));
+        assert_eq!(family_index("not_a_collective"), None);
+    }
+
+    #[test]
+    fn export_metrics_writes_bytes_and_overlap_series() {
+        let reg = lra_obs::MetricsRegistry::new();
+        let mut a = CommStats::default();
+        a.bytes_on_wire[family_index("alltoallv").unwrap()] = 100;
+        a.overlap_posted = 2;
+        a.overlap_hidden_ns = 5_000;
+        let mut b = CommStats::default();
+        b.bytes_on_wire[family_index("alltoallv").unwrap()] = 50;
+        b.bytes_on_wire[family_index("gatherv").unwrap()] = 7;
+        b.overlap_hidden_ns = 1_000;
+        a.export_metrics(&reg, 0);
+        b.export_metrics(&reg, 1);
+        use lra_obs::MetricValue;
+        assert_eq!(
+            reg.get("comm.bytes.alltoallv"),
+            Some(MetricValue::Counter(150))
+        );
+        assert_eq!(reg.get("comm.bytes.gatherv"), Some(MetricValue::Counter(7)));
+        assert_eq!(reg.get("comm.bytes.barrier"), None, "zero families elided");
+        assert_eq!(
+            reg.get("comm.total.overlap_posted"),
+            Some(MetricValue::Counter(2))
+        );
+        assert_eq!(
+            reg.get("comm.overlap.hidden_ns"),
+            Some(MetricValue::Gauge(6_000.0))
         );
     }
 }

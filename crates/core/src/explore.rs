@@ -9,7 +9,13 @@
 //!   shrink + resume),
 //! - a watchdog **timeout** at every iteration (transient failure →
 //!   same-grid retry), injected as a one-shot rank stall via
-//!   [`FaultPlan::stall_rank_once_at_iteration`], and
+//!   [`FaultPlan::stall_rank_once_at_iteration`],
+//! - a **mid-overlap kill** and a **mid-overlap stall** at every
+//!   iteration — fired between posting the nonblocking re-shard
+//!   exchange and completing it, the window where the wire and the
+//!   factor recording run concurrently (the invariant under test: a
+//!   fault with an exchange in flight yields a typed error, never a
+//!   hang and never a torn shard), and
 //! - every [`StorageFaultKind`] at every checkpoint save index (torn
 //!   write, bit flip, ENOSPC, crash-before-rename, stale read), paired
 //!   with a one-shot stall two iterations later so the recovery path
@@ -70,6 +76,25 @@ pub enum InjectionSite {
         /// 1-based iteration at which it stalls.
         iteration: u64,
     },
+    /// Kill `rank` between posting a nonblocking exchange and
+    /// completing it at `iteration` — the mid-overlap window where the
+    /// re-shard is in flight and factor recording runs concurrently.
+    OverlapKill {
+        /// Rank to kill.
+        rank: usize,
+        /// 1-based iteration whose overlap window it dies in.
+        iteration: u64,
+    },
+    /// Stall `rank` inside the overlap window at `iteration` (one-shot,
+    /// past the watchdog): its sends are already on the wire, so peers
+    /// must surface a *typed* timeout in a later collective — never a
+    /// hang, never a torn shard.
+    OverlapStall {
+        /// Rank to stall.
+        rank: usize,
+        /// 1-based iteration whose overlap window it stalls in.
+        iteration: u64,
+    },
     /// Inject `kind` at checkpoint save index `save_index` (plus a
     /// one-shot stall two iterations later to force a reload).
     Storage {
@@ -96,6 +121,12 @@ impl std::fmt::Display for InjectionSite {
             }
             InjectionSite::CommTimeout { rank, iteration } => {
                 write!(f, "timeout@it{iteration}.rank{rank}")
+            }
+            InjectionSite::OverlapKill { rank, iteration } => {
+                write!(f, "overlap-kill@it{iteration}.rank{rank}")
+            }
+            InjectionSite::OverlapStall { rank, iteration } => {
+                write!(f, "overlap-stall@it{iteration}.rank{rank}")
             }
             InjectionSite::Storage { kind, save_index } => {
                 write!(f, "storage:{kind}@save{save_index}")
@@ -293,6 +324,9 @@ pub struct ExploreConfig {
     pub policy: RecoveryPolicy,
     /// Enumerate kill/timeout sites at every iteration.
     pub comm_sites: bool,
+    /// Enumerate mid-overlap kill/stall sites at every iteration — the
+    /// window between posting the re-shard exchange and completing it.
+    pub overlap_sites: bool,
     /// Enumerate every [`StorageFaultKind`] at every save index.
     pub storage_sites: bool,
     /// Enumerate a budget cancel at every iteration boundary
@@ -316,6 +350,7 @@ impl Default for ExploreConfig {
             stall: Duration::from_millis(900),
             policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
             comm_sites: true,
+            overlap_sites: true,
             storage_sites: true,
             cancel_sites: true,
             on_disk: None,
@@ -406,6 +441,16 @@ pub fn explore_fault_space(
             sites.push(InjectionSite::CommTimeout { rank, iteration: it });
         }
     }
+    if cfg.overlap_sites {
+        // Rotate through a different rank than the comm sites so the
+        // two families between them cover more (rank, iteration)
+        // combinations of the grid.
+        for it in 1..=iterations as u64 {
+            let rank = it as usize % cfg.np;
+            sites.push(InjectionSite::OverlapKill { rank, iteration: it });
+            sites.push(InjectionSite::OverlapStall { rank, iteration: it });
+        }
+    }
     if cfg.storage_sites {
         for save_index in 0..saves {
             for kind in StorageFaultKind::ALL {
@@ -460,6 +505,24 @@ fn run_site(
             RunConfig::default()
                 .with_watchdog(cfg.watchdog)
                 .with_faults(FaultPlan::new().stall_rank_once_at_iteration(
+                    *rank,
+                    *iteration,
+                    cfg.stall,
+                )),
+            StorageFaultPlan::new(),
+            true,
+        ),
+        InjectionSite::OverlapKill { rank, iteration } => (
+            RunConfig::default()
+                .with_watchdog(Duration::from_secs(20))
+                .with_faults(FaultPlan::new().kill_rank_mid_overlap(*rank, *iteration)),
+            StorageFaultPlan::new(),
+            true,
+        ),
+        InjectionSite::OverlapStall { rank, iteration } => (
+            RunConfig::default()
+                .with_watchdog(cfg.watchdog)
+                .with_faults(FaultPlan::new().stall_rank_once_mid_overlap(
                     *rank,
                     *iteration,
                     cfg.stall,

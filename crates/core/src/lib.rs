@@ -45,8 +45,8 @@ pub use outcome::{Interrupted, JobId, Outcome, Parked, ResumeHandle};
 pub use qb::{rand_qb_ei, rand_qb_ei_checkpointed, QbError, QbOpts, QbResult, QB_INDICATOR_FLOOR};
 pub use spmd::{
     ilut_crtp_dist, ilut_crtp_dist_checked, ilut_crtp_spmd, ilut_crtp_spmd_checkpointed,
-    ilut_crtp_spmd_replicated, lu_crtp_dist, lu_crtp_dist_checked, lu_crtp_spmd,
-    lu_crtp_spmd_checkpointed, lu_crtp_spmd_replicated,
+    ilut_crtp_spmd_eager, ilut_crtp_spmd_replicated, lu_crtp_dist, lu_crtp_dist_checked,
+    lu_crtp_spmd, lu_crtp_spmd_checkpointed, lu_crtp_spmd_eager, lu_crtp_spmd_replicated,
 };
 pub use supervised::{
     ilut_crtp_supervised, ilut_crtp_supervised_with_store, lu_crtp_supervised,

@@ -18,7 +18,20 @@
 //!   replicated);
 //! - the Schur update is computed only for owned columns, with an
 //!   `alltoallv` re-sharding from the old column partition to the new
-//!   one — no rank ever materializes the full Schur complement;
+//!   one — no rank ever materializes the full Schur complement. By
+//!   default the re-shard is a *posted* exchange
+//!   ([`lra_comm::Ctx::post_alltoallv`]): sends go out immediately,
+//!   factor recording (and its `gatherv`) runs while the wire drains,
+//!   and completion Schur-updates each received piece as it arrives —
+//!   a three-stage software pipeline (post → overlap compute →
+//!   complete) that hides the exchange behind work that was going to
+//!   happen anyway. Re-shard part buffers are recycled across panel
+//!   iterations from a pool, like the [`SchurWorkspace`] scratch. The
+//!   non-overlapped path is kept as [`lu_crtp_spmd_eager`] /
+//!   [`ilut_crtp_spmd_eager`] — the bitwise oracle for the pipeline
+//!   (piece-at-a-time updates tile the new owned range in ascending
+//!   column order, and the kernel computes each column independently,
+//!   so the reordering moves no bits);
 //! - the error indicator is a partial-norm allreduce, and ILUT
 //!   thresholding combines per-shard dropped mass through the same
 //!   allreduce tree on every rank.
@@ -49,14 +62,14 @@ use crate::lucrtp::{
     IterTrace, LuCrtpOpts, LuCrtpResult, MemStats, SchurWorkspace, ThresholdReport,
 };
 use crate::timers::KernelTimers;
-use lra_comm::{CommError, Ctx, RunConfig};
+use lra_comm::{CommError, Ctx, PendingExchange, RunConfig};
 use lra_dense::{lu, pairwise_sum_sq, qr, DenseMatrix, LuFactor, Numerics};
 use lra_ordering::fill_reducing_order;
 use lra_par::{owned_range, split_ranges, Parallelism};
 use lra_qrtp::{
     tournament_columns_spmd, tournament_columns_spmd_sharded, ColumnSelection, TournamentTree,
 };
-use lra_sparse::{gather_csc, ColSlice, CscMatrix, SparseBuilder};
+use lra_sparse::{gather_csc, slice_columns_recycled, ColSlice, CscMatrix, SparseBuilder};
 use std::ops::Range;
 
 /// SPMD LU_CRTP: every rank calls this with the same `a` and `opts`
@@ -86,7 +99,9 @@ pub fn lu_crtp_spmd_checkpointed(
     opts: &LuCrtpOpts,
     hooks: Option<&crate::RecoveryHooks<'_>>,
 ) -> Result<LuCrtpResult, InvalidInput> {
-    lra_obs::trace::span("lu_crtp_spmd", || drive_spmd_sharded(ctx, a, opts, None, hooks))
+    lra_obs::trace::span("lu_crtp_spmd", || {
+        drive_spmd_sharded(ctx, a, opts, None, hooks, Reshard::Overlapped)
+    })
 }
 
 /// SPMD ILUT_CRTP (Algorithm 3 over ranks): identical distribution to
@@ -115,7 +130,38 @@ pub fn ilut_crtp_spmd_checkpointed(
         control_triggered: false,
     };
     lra_obs::trace::span("ilut_crtp_spmd", || {
-        drive_spmd_sharded(ctx, a, &opts.base, Some(state), hooks)
+        drive_spmd_sharded(ctx, a, &opts.base, Some(state), hooks, Reshard::Overlapped)
+    })
+}
+
+/// Non-overlapped sharded LU_CRTP: identical to [`lu_crtp_spmd`]
+/// except the per-panel re-shard exchange blocks eagerly before
+/// factor recording instead of draining behind it. Kept as the
+/// bitwise oracle for the overlapped pipeline — overlapped ≡ eager is
+/// pinned by tests the same way sharded ≡ replicated is.
+#[doc(hidden)]
+pub fn lu_crtp_spmd_eager(ctx: &Ctx, a: &CscMatrix, opts: &LuCrtpOpts) -> LuCrtpResult {
+    lra_obs::trace::span("lu_crtp_spmd_eager", || {
+        drive_spmd_sharded(ctx, a, opts, None, None, Reshard::Eager)
+            .expect("no hooks, so no resume mode mismatch")
+    })
+}
+
+/// Eager-exchange oracle for [`ilut_crtp_spmd`] (see
+/// [`lu_crtp_spmd_eager`]).
+#[doc(hidden)]
+pub fn ilut_crtp_spmd_eager(ctx: &Ctx, a: &CscMatrix, opts: &IlutOpts) -> LuCrtpResult {
+    let state = SpmdIlutState {
+        cfg: opts.clone(),
+        mu: 0.0,
+        phi: 0.0,
+        mass_sq: 0.0,
+        dropped: 0,
+        control_triggered: false,
+    };
+    lra_obs::trace::span("ilut_crtp_spmd_eager", || {
+        drive_spmd_sharded(ctx, a, &opts.base, Some(state), None, Reshard::Eager)
+            .expect("no hooks, so no resume mode mismatch")
     })
 }
 
@@ -213,12 +259,26 @@ struct PanelSplit {
     a22_piece: CscMatrix,
 }
 
+/// An in-flight re-shard: the posted `alltoallv` plus the geometry of
+/// the new column partition. Produced by
+/// [`SpmdPanelCtx::post_reshard`], consumed by
+/// [`SpmdPanelCtx::complete_reshard`]; the compute placed between the
+/// two is what the wire time hides behind.
+struct PendingReshard<'a> {
+    pend: PendingExchange<'a, (CscMatrix, CscMatrix)>,
+    new_ranges: Vec<Range<usize>>,
+    m_rest: usize,
+    n_rest: usize,
+}
+
 /// Panel engine for the sharded SPMD driver: the communicator, the
 /// rank's owned block-column [`ColSlice`] of the current Schur
 /// complement, and the replicated global dimensions, with one method
 /// per distributed stage of an LU_CRTP iteration. The shard invariant:
-/// after construction and after every [`Self::schur_redistribute`],
-/// this rank owns exactly `owned_range(split_ranges(n_cur, size),
+/// after construction and after every re-shard (eager
+/// [`Self::schur_redistribute`] or overlapped
+/// [`Self::complete_reshard`]), this rank owns exactly
+/// `owned_range(split_ranges(n_cur, size),
 /// rank)` — the same partition the replicated oracle uses for its
 /// per-rank work, which is what makes the two drivers bit-identical.
 struct SpmdPanelCtx<'a> {
@@ -243,6 +303,13 @@ struct SpmdPanelCtx<'a> {
     /// Kernel scratch reused across iterations (transpose target,
     /// sparse accumulator).
     ws: SchurWorkspace,
+    /// Retired re-shard part buffers recycled across panel iterations:
+    /// [`Self::build_reshard_parts`] pops donors instead of allocating
+    /// `2·np` fresh matrices per panel, and the received parts return
+    /// to the pool once their columns are folded into the new shard.
+    /// Pool capacity is scratch, not resident state — it is *not*
+    /// counted by [`Self::note_mem`] (the mem gates track the shard).
+    part_pool: Vec<CscMatrix>,
     peak_bytes: usize,
     peak_nnz: usize,
 }
@@ -267,6 +334,7 @@ impl<'a> SpmdPanelCtx<'a> {
             numerics,
             dense_cols: 0,
             ws: SchurWorkspace::new(),
+            part_pool: Vec::new(),
             peak_bytes: 0,
             peak_nnz: 0,
         };
@@ -519,26 +587,13 @@ impl<'a> SpmdPanelCtx<'a> {
         let m_rest = sp.a22_piece.rows();
         let n_rest = sp.rest_cols.len();
         let new_ranges = split_ranges(n_rest, self.size);
-        let my_run = &sp.my_run;
-        let mut parts: Vec<(CscMatrix, CscMatrix)> = Vec::with_capacity(self.size);
-        for dst in 0..self.size {
-            let drg = owned_range(&new_ranges, dst);
-            let lo = my_run.start.max(drg.start);
-            let hi = my_run.end.min(drg.end);
-            let local = if lo < hi {
-                (lo - my_run.start)..(hi - my_run.start)
-            } else {
-                0..0
-            };
-            parts.push((
-                ColSlice::from_full(&sp.a12_piece, local.clone()).into_local(),
-                ColSlice::from_full(&sp.a22_piece, local).into_local(),
-            ));
-        }
+        let parts = self.build_reshard_parts(sp, &new_ranges);
         let got = self.ctx.alltoallv(parts);
         let (p12, p22): (Vec<CscMatrix>, Vec<CscMatrix>) = got.into_iter().unzip();
         let a12_own = gather_csc(&p12);
         let a22_own = gather_csc(&p22);
+        self.part_pool.extend(p12);
+        self.part_pool.extend(p22);
         let my_new = owned_range(&new_ranges, self.rank);
         debug_assert_eq!(a22_own.cols(), my_new.len());
         let (lens, rows_out, vals_out, dc) = schur_update_ranged(
@@ -553,6 +608,116 @@ impl<'a> SpmdPanelCtx<'a> {
             self.numerics,
         );
         self.dense_cols += dc;
+        let mut colptr = Vec::with_capacity(lens.len() + 1);
+        colptr.push(0);
+        let mut run = 0usize;
+        for l in lens {
+            run += l;
+            colptr.push(run);
+        }
+        let next_local = CscMatrix::from_parts(m_rest, my_new.len(), colptr, rows_out, vals_out);
+        self.shard = ColSlice::new(my_new.start, next_local);
+        self.n_cur = n_rest;
+        self.note_mem();
+    }
+
+    /// Build the per-destination `(Ā12, Ā22)` column-run parts of the
+    /// re-shard exchange. Part buffers retired by previous iterations
+    /// are recycled from [`Self::part_pool`], so once part sizes reach
+    /// steady state the `2·np` allocations per panel disappear.
+    fn build_reshard_parts(
+        &mut self,
+        sp: &PanelSplit,
+        new_ranges: &[Range<usize>],
+    ) -> Vec<(CscMatrix, CscMatrix)> {
+        let my_run = &sp.my_run;
+        let mut parts: Vec<(CscMatrix, CscMatrix)> = Vec::with_capacity(self.size);
+        for dst in 0..self.size {
+            let drg = owned_range(new_ranges, dst);
+            let lo = my_run.start.max(drg.start);
+            let hi = my_run.end.min(drg.end);
+            let local = if lo < hi {
+                (lo - my_run.start)..(hi - my_run.start)
+            } else {
+                0..0
+            };
+            let d12 = self.part_pool.pop().unwrap_or_else(|| CscMatrix::zeros(0, 0));
+            let d22 = self.part_pool.pop().unwrap_or_else(|| CscMatrix::zeros(0, 0));
+            parts.push((
+                slice_columns_recycled(&sp.a12_piece, local.clone(), d12),
+                slice_columns_recycled(&sp.a22_piece, local, d22),
+            ));
+        }
+        parts
+    }
+
+    /// Post the re-shard exchange for the just-eliminated panel
+    /// without waiting for it: the sends go out now, the receives wait
+    /// inside the returned [`PendingReshard`]. Work issued between
+    /// this and [`Self::complete_reshard`] — factor recording and its
+    /// `gatherv`, which uses a different tag namespace — runs while
+    /// the wire drains.
+    fn post_reshard(&mut self, sp: &PanelSplit) -> PendingReshard<'a> {
+        let m_rest = sp.a22_piece.rows();
+        let n_rest = sp.rest_cols.len();
+        let new_ranges = split_ranges(n_rest, self.size);
+        let parts = self.build_reshard_parts(sp, &new_ranges);
+        PendingReshard {
+            pend: self.ctx.post_alltoallv(parts),
+            new_ranges,
+            m_rest,
+            n_rest,
+        }
+    }
+
+    /// Complete a posted re-shard: drain the exchange in source-rank
+    /// order, Schur-updating each `(Ā12, Ā22)` piece the moment it
+    /// arrives — per-piece compute hides the tail of the drain — and
+    /// concatenate the per-piece results. Bitwise-identical to the
+    /// eager [`Self::schur_redistribute`]: the pieces tile the new
+    /// owned range in ascending column order and the kernel computes
+    /// every column independently (same per-column arithmetic, same
+    /// ascending emission), so splitting the single gathered pass at
+    /// piece boundaries moves no bits.
+    fn complete_reshard(&mut self, pr: PendingReshard<'a>, x_rows: &[usize], xt: &DenseMatrix) {
+        let PendingReshard {
+            pend,
+            new_ranges,
+            m_rest,
+            n_rest,
+        } = pr;
+        let my_new = owned_range(&new_ranges, self.rank);
+        let mut lens: Vec<usize> = Vec::with_capacity(my_new.len());
+        let mut rows_out: Vec<usize> = Vec::new();
+        let mut vals_out: Vec<f64> = Vec::new();
+        let mut dc_total = 0u64;
+        {
+            let ws = &mut self.ws;
+            let pool = &mut self.part_pool;
+            let (dense_switch, par, numerics) = (self.dense_switch, self.par, self.numerics);
+            pend.complete_with(|_src, (p12, p22): (CscMatrix, CscMatrix)| {
+                debug_assert_eq!(p22.rows(), m_rest);
+                let (l, r, v, dc) = schur_update_ranged(
+                    &p22,
+                    x_rows,
+                    xt,
+                    &p12,
+                    0..p22.cols(),
+                    dense_switch,
+                    ws,
+                    par,
+                    numerics,
+                );
+                lens.extend(l);
+                rows_out.extend(r);
+                vals_out.extend(v);
+                dc_total += dc;
+                pool.push(p12);
+                pool.push(p22);
+            });
+        }
+        debug_assert_eq!(lens.len(), my_new.len());
+        self.dense_cols += dc_total;
         let mut colptr = Vec::with_capacity(lens.len() + 1);
         colptr.push(0);
         let mut run = 0usize;
@@ -754,12 +919,23 @@ impl<'a> SpmdPanelCtx<'a> {
 }
 
 #[allow(clippy::too_many_lines)]
+/// Re-shard scheduling of the sharded driver: `Overlapped` posts the
+/// per-panel exchange and hides the wire behind factor recording plus
+/// per-piece Schur updates (the default); `Eager` is the original
+/// blocking exchange, kept as the bitwise oracle for the pipeline.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Reshard {
+    Overlapped,
+    Eager,
+}
+
 fn drive_spmd_sharded(
     ctx: &Ctx,
     a: &CscMatrix,
     opts: &LuCrtpOpts,
     mut ilut: Option<SpmdIlutState>,
     hooks: Option<&crate::RecoveryHooks<'_>>,
+    reshard: Reshard,
 ) -> Result<LuCrtpResult, InvalidInput> {
     let m = a.rows();
     let n = a.cols();
@@ -985,9 +1161,24 @@ fn drive_spmd_sharded(
         });
 
         // Schur complement on owned columns + re-sharding alltoallv.
-        timers.time(crate::KernelId::Schur, || {
-            eng.schur_redistribute(&sp, &x_rows, &xt);
-        });
+        // Overlapped (the default): post the exchange now — sends
+        // never block — record factors while the wire drains, then
+        // complete, Schur-updating each piece as it arrives. Eager
+        // (the oracle): the original blocking exchange, update, then
+        // record. The factor gatherv uses the eager tag namespace,
+        // disjoint from pending-exchange tags, so the reordering
+        // cannot mismatch envelopes.
+        let pending = match reshard {
+            Reshard::Overlapped => {
+                Some(timers.time(crate::KernelId::Schur, || eng.post_reshard(&sp)))
+            }
+            Reshard::Eager => {
+                timers.time(crate::KernelId::Schur, || {
+                    eng.schur_redistribute(&sp, &x_rows, &xt);
+                });
+                None
+            }
+        };
 
         // Record factors: fragments gathered to rank 0; pivot lists
         // are replicated bookkeeping on every rank.
@@ -1023,6 +1214,12 @@ fn drive_spmd_sharded(
             pivot_rows_glob.extend(rows.iter().map(|&r| row_map[r]));
             pivot_cols_glob.extend(sel.selected.iter().map(|&c| col_map[c]));
         });
+
+        if let Some(pr) = pending {
+            timers.time(crate::KernelId::Schur, || {
+                eng.complete_reshard(pr, &x_rows, &xt);
+            });
+        }
 
         k_rank += k_eff;
         iterations += 1;

@@ -9,8 +9,8 @@
 //! factorization).
 
 use lra_core::{
-    ilut_crtp_spmd, ilut_crtp_spmd_replicated, lu_crtp_spmd, lu_crtp_spmd_replicated, IlutOpts,
-    LuCrtpOpts, LuCrtpResult,
+    ilut_crtp_spmd, ilut_crtp_spmd_eager, ilut_crtp_spmd_replicated, lu_crtp_spmd,
+    lu_crtp_spmd_eager, lu_crtp_spmd_replicated, IlutOpts, LuCrtpOpts, LuCrtpResult,
 };
 use lra_sparse::CscMatrix;
 
@@ -124,6 +124,57 @@ fn sharded_ilut_matches_replicated_bitwise() {
             "np={np}: expected drops"
         );
         assert_result_bitwise(&s, &o, &format!("ilut np={np}"));
+    }
+}
+
+/// The overlapped re-shard pipeline (post the `alltoallv`, record
+/// factors while the wire drains, Schur-update each piece as it
+/// arrives) vs. its eager blocking oracle: every result field —
+/// factors, pivots, indicator trace, threshold state — must agree bit
+/// for bit, because per-piece updates tile the new owned range in
+/// ascending column order and the kernel computes each column
+/// independently.
+#[test]
+fn overlapped_lu_matches_eager_bitwise() {
+    let a = circuit_matrix();
+    let opts = LuCrtpOpts::new(8, 1e-3);
+    for np in [1usize, 2, 4] {
+        let mut over = lra_comm::run_infallible(np, |ctx| {
+            let r = lu_crtp_spmd(ctx, &a, &opts);
+            (r, ctx.stats())
+        });
+        let mut eager = lra_comm::run_infallible(np, |ctx| lu_crtp_spmd_eager(ctx, &a, &opts));
+        let (o, stats) = over.swap_remove(0);
+        let e = eager.swap_remove(0);
+        assert!(o.converged, "np={np}: {:?}", o.breakdown);
+        assert_result_bitwise(&o, &e, &format!("overlap lu np={np}"));
+        // The default driver really went through the posted path: one
+        // posted exchange per iteration, none on the eager oracle.
+        assert_eq!(
+            stats.overlap_posted, o.iterations as u64,
+            "np={np}: one posted re-shard per panel iteration"
+        );
+    }
+}
+
+/// Same contract for ILUT: the thresholding pass runs on the shard
+/// assembled from per-piece updates, so its dropped-mass bookkeeping
+/// pins the pipeline end to end.
+#[test]
+fn overlapped_ilut_matches_eager_bitwise() {
+    let a = fill_heavy();
+    let opts = IlutOpts::new(8, 1e-2, 4);
+    for np in [1usize, 2, 4] {
+        let mut over = lra_comm::run_infallible(np, |ctx| ilut_crtp_spmd(ctx, &a, &opts));
+        let mut eager = lra_comm::run_infallible(np, |ctx| ilut_crtp_spmd_eager(ctx, &a, &opts));
+        let o = over.swap_remove(0);
+        let e = eager.swap_remove(0);
+        assert!(o.converged, "np={np}: {:?}", o.breakdown);
+        assert!(
+            o.threshold.as_ref().unwrap().dropped > 0,
+            "np={np}: expected drops"
+        );
+        assert_result_bitwise(&o, &e, &format!("overlap ilut np={np}"));
     }
 }
 

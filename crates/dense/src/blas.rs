@@ -285,13 +285,13 @@ fn gemm_blocked<const SUB: bool>(
     });
 }
 
-/// Route one tile to the codegen copy selected by [`TileIsa::pick`].
-/// The two `Bitwise` lanes run the same Rust source ([`tile_n`]); the
-/// AVX2 one only widens the lanes (the `fma` feature stays off so every
-/// lane rounds mul-then-add exactly like scalar — this is what keeps
-/// the fast path inside the bitwise contract). The two `Fast` lanes run
-/// [`tile_n_fast`], whose `mul_add` chain is the same correctly rounded
-/// operation under both codegens.
+/// Route one tile to the copy selected by [`TileIsa::pick`]. The
+/// `Bitwise` lanes share one fp chain: [`tile_n`] in scalar source,
+/// [`tile_n_avx2`] in explicit `f64x4` intrinsics that issue the same
+/// mul-then-add per lane (no FMA contraction — this is what keeps the
+/// wide path inside the bitwise contract). The `Fast` lanes share the
+/// fused chain: [`tile_n_fast`]'s `mul_add` and [`tile_n_fast_fma`]'s
+/// `_mm256_fmadd_pd` are the same correctly rounded operation.
 ///
 /// # Safety
 /// Same contract as [`tile_n`].
@@ -319,8 +319,18 @@ unsafe fn tile_dispatch<const JW: usize, const SUB: bool>(
     }
 }
 
-/// AVX2-compiled copy of [`tile_n`]: the `#[inline(always)]` body is
-/// re-codegenned here with 4-wide vector mul/add.
+/// AVX2 copy of [`tile_n`] written in explicit `f64x4` intrinsics: the
+/// `MR x JW` accumulator tile lives in two `__m256d` registers per
+/// output column, and each k step broadcasts `B`'s scalar and issues a
+/// vector multiply followed by a *separate* vector add/sub — the same
+/// mul-then-add rounding per lane as the scalar source, which is what
+/// keeps this copy inside the bitwise contract (no FMA contraction is
+/// possible because none is written). The per-`(l, j)` zero skip stays
+/// a scalar branch on the broadcast value, taken exactly when the
+/// scalar zero-aware sweep would take it. Ragged bottom panels
+/// (`iw < MR`) stage `C` through a zero-padded stack tile so vector
+/// loads and stores never touch rows past `m`; the pad lanes carry the
+/// same (discarded) values as the scalar kernel's pad slots.
 ///
 /// # Safety
 /// Same contract as [`tile_n`]; additionally the CPU must support AVX2.
@@ -335,7 +345,61 @@ unsafe fn tile_n_avx2<const JW: usize, const SUB: bool>(
     bt: &[f64],
     any_zero: bool,
 ) {
-    tile_n::<JW, SUB>(c_ptr, m, i0, j0, panel, bt, any_zero)
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_broadcast_sd, _mm256_loadu_pd, _mm256_mul_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd, _mm256_sub_pd,
+    };
+    debug_assert_eq!(MR, 8, "two f64x4 lanes per output column");
+    let iw = MR.min(m - i0);
+    let mut acc: [[__m256d; 2]; JW] = [[_mm256_setzero_pd(); 2]; JW];
+    if SUB {
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            let cj = c_ptr.add((j0 + jj) * m + i0);
+            if iw == MR {
+                accj[0] = _mm256_loadu_pd(cj);
+                accj[1] = _mm256_loadu_pd(cj.add(4));
+            } else {
+                let mut pad = [0.0f64; MR];
+                for (ii, slot) in pad.iter_mut().take(iw).enumerate() {
+                    *slot = *cj.add(ii);
+                }
+                accj[0] = _mm256_loadu_pd(pad.as_ptr());
+                accj[1] = _mm256_loadu_pd(pad.as_ptr().add(4));
+            }
+        }
+    }
+    for (av, bl) in panel.chunks_exact(MR).zip(bt.chunks_exact(NR)) {
+        let a_lo = _mm256_loadu_pd(av.as_ptr());
+        let a_hi = _mm256_loadu_pd(av.as_ptr().add(4));
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            let blj = bl[jj];
+            if any_zero && blj == 0.0 {
+                continue;
+            }
+            let bv = _mm256_broadcast_sd(&blj);
+            if SUB {
+                accj[0] = _mm256_sub_pd(accj[0], _mm256_mul_pd(bv, a_lo));
+                accj[1] = _mm256_sub_pd(accj[1], _mm256_mul_pd(bv, a_hi));
+            } else {
+                accj[0] = _mm256_add_pd(accj[0], _mm256_mul_pd(bv, a_lo));
+                accj[1] = _mm256_add_pd(accj[1], _mm256_mul_pd(bv, a_hi));
+            }
+        }
+    }
+    for (jj, accj) in acc.iter().enumerate() {
+        let cj = c_ptr.add((j0 + jj) * m + i0);
+        if iw == MR {
+            _mm256_storeu_pd(cj, accj[0]);
+            _mm256_storeu_pd(cj.add(4), accj[1]);
+        } else {
+            let mut pad = [0.0f64; MR];
+            _mm256_storeu_pd(pad.as_mut_ptr(), accj[0]);
+            _mm256_storeu_pd(pad.as_mut_ptr().add(4), accj[1]);
+            for (ii, &v) in pad.iter().take(iw).enumerate() {
+                *cj.add(ii) = v;
+            }
+        }
+    }
 }
 
 /// One `MR x JW` tile of the blocked `C (-)= A * B'` kernel against a
@@ -429,9 +493,13 @@ unsafe fn tile_n<const JW: usize, const SUB: bool>(
     }
 }
 
-/// AVX2+FMA-compiled copy of [`tile_n_fast`]: the `mul_add` chains
-/// codegen to hardware `vfmadd` lanes. Same results as the baseline
-/// copy — FMA is correctly rounded either way.
+/// AVX2+FMA copy of [`tile_n_fast`] in explicit `f64x4` intrinsics:
+/// two `_mm256_fmadd_pd` accumulator lanes per output column, fed by a
+/// broadcast of (possibly negated, for `SUB`) `B` scalars. Same
+/// results as the baseline copy — `f64::mul_add` and `vfmadd` are the
+/// same correctly rounded operation — so the dispatch stays
+/// bitwise-within-mode. Ragged bottom panels stage `C` through a
+/// zero-padded stack tile exactly like [`tile_n_avx2`].
 ///
 /// # Safety
 /// Same contract as [`tile_n`]; additionally the CPU must support
@@ -446,7 +514,53 @@ unsafe fn tile_n_fast_fma<const JW: usize, const SUB: bool>(
     panel: &[f64],
     bt: &[f64],
 ) {
-    tile_n_fast::<JW, SUB>(c_ptr, m, i0, j0, panel, bt)
+    use std::arch::x86_64::{
+        __m256d, _mm256_broadcast_sd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd,
+    };
+    debug_assert_eq!(MR, 8, "two f64x4 lanes per output column");
+    let iw = MR.min(m - i0);
+    let mut acc: [[__m256d; 2]; JW] = [[_mm256_setzero_pd(); 2]; JW];
+    if SUB {
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            let cj = c_ptr.add((j0 + jj) * m + i0);
+            if iw == MR {
+                accj[0] = _mm256_loadu_pd(cj);
+                accj[1] = _mm256_loadu_pd(cj.add(4));
+            } else {
+                let mut pad = [0.0f64; MR];
+                for (ii, slot) in pad.iter_mut().take(iw).enumerate() {
+                    *slot = *cj.add(ii);
+                }
+                accj[0] = _mm256_loadu_pd(pad.as_ptr());
+                accj[1] = _mm256_loadu_pd(pad.as_ptr().add(4));
+            }
+        }
+    }
+    for (av, bl) in panel.chunks_exact(MR).zip(bt.chunks_exact(NR)) {
+        let a_lo = _mm256_loadu_pd(av.as_ptr());
+        let a_hi = _mm256_loadu_pd(av.as_ptr().add(4));
+        for (jj, accj) in acc.iter_mut().enumerate() {
+            let blj = if SUB { -bl[jj] } else { bl[jj] };
+            let bv = _mm256_broadcast_sd(&blj);
+            accj[0] = _mm256_fmadd_pd(bv, a_lo, accj[0]);
+            accj[1] = _mm256_fmadd_pd(bv, a_hi, accj[1]);
+        }
+    }
+    for (jj, accj) in acc.iter().enumerate() {
+        let cj = c_ptr.add((j0 + jj) * m + i0);
+        if iw == MR {
+            _mm256_storeu_pd(cj, accj[0]);
+            _mm256_storeu_pd(cj.add(4), accj[1]);
+        } else {
+            let mut pad = [0.0f64; MR];
+            _mm256_storeu_pd(pad.as_mut_ptr(), accj[0]);
+            _mm256_storeu_pd(pad.as_mut_ptr().add(4), accj[1]);
+            for (ii, &v) in pad.iter().take(iw).enumerate() {
+                *cj.add(ii) = v;
+            }
+        }
+    }
 }
 
 /// Fast-numerics variant of [`tile_n`]: every accumulate is a fused

@@ -304,8 +304,10 @@ impl Server {
     }
 
     /// Text scrape of the server's observable state: queue/pool/cache
-    /// snapshot plus every `serve.*` metric, rendered through the
-    /// byte-stable `lra_obs` JSON writer (sorted keys, compact form).
+    /// snapshot, every `serve.*` metric, and the `comm.bytes.*` /
+    /// `comm.overlap.*` wire-traffic series accumulated by finished
+    /// jobs, rendered through the byte-stable `lra_obs` JSON writer
+    /// (sorted keys, compact form).
     pub fn scrape(&self) -> String {
         let (queued, running, parked, done_n, pool_total, pool_busy, grants) = {
             let st = self.inner.lock();
@@ -335,19 +337,29 @@ impl Server {
             let (h, m, e) = c.stats();
             (c.len(), c.bytes(), h, m, e)
         };
+        let to_num = |v: lra_obs::MetricValue| match v {
+            lra_obs::MetricValue::Counter(c) => Json::Num(c as f64),
+            lra_obs::MetricValue::Gauge(g) => Json::Num(g),
+            lra_obs::MetricValue::Histogram(h) => Json::Num(h.mean()),
+        };
         let metrics = Json::Obj(
             self.inner
                 .metrics()
                 .snapshot_prefixed("serve")
                 .into_iter()
-                .map(|(name, v)| {
-                    let num = match v {
-                        lra_obs::MetricValue::Counter(c) => Json::Num(c as f64),
-                        lra_obs::MetricValue::Gauge(g) => Json::Num(g),
-                        lra_obs::MetricValue::Histogram(h) => Json::Num(h.mean()),
-                    };
-                    (name, num)
-                })
+                .map(|(name, v)| (name, to_num(v)))
+                .collect(),
+        );
+        // Wire traffic per collective family plus the overlap series
+        // (posted exchanges, hidden/blocked nanoseconds), exported by
+        // each finished job's per-rank `CommStats`.
+        let comm = Json::Obj(
+            self.inner
+                .metrics()
+                .snapshot_prefixed("comm.bytes")
+                .into_iter()
+                .chain(self.inner.metrics().snapshot_prefixed("comm.overlap"))
+                .map(|(name, v)| (name, to_num(v)))
                 .collect(),
         );
         lra_obs::json::obj(vec![
@@ -361,6 +373,7 @@ impl Server {
                     ("misses", Json::Num(misses as f64)),
                 ]),
             ),
+            ("comm", comm),
             (
                 "jobs",
                 lra_obs::json::obj(vec![
@@ -600,7 +613,7 @@ fn run_job(inner: &Arc<Inner>, d: Dispatch, budget: lra_recover::Budget) {
     let matrix = &d.matrix;
     // A mode-mismatch resume is impossible here: the job's store only
     // ever sees this job's fixed options.
-    let mut results = match &algorithm {
+    let report = match &algorithm {
         Algorithm::LuCrtp(o) => lra_comm::run_with(d.ranks, &cfg, |ctx| {
             lra_core::lu_crtp_spmd_checkpointed(ctx, matrix, o, Some(&hooks))
                 .expect("numerics mode is fixed per job store")
@@ -609,8 +622,14 @@ fn run_job(inner: &Arc<Inner>, d: Dispatch, budget: lra_recover::Budget) {
             lra_core::ilut_crtp_spmd_checkpointed(ctx, matrix, o, Some(&hooks))
                 .expect("numerics mode is fixed per job store")
         }),
+    };
+    // Fold the run's communication counters into the global registry
+    // so the scrape endpoint can report wire traffic per collective
+    // family (`comm.bytes.*`) and the overlap series across jobs.
+    for (rank, stats) in report.stats.iter().enumerate() {
+        stats.export_metrics(inner.metrics(), rank);
     }
-    .unwrap_all();
+    let mut results = report.unwrap_all();
     let result = results.swap_remove(0);
     let outcome = result.into_outcome();
 

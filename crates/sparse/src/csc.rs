@@ -62,6 +62,14 @@ impl CscMatrix {
         }
     }
 
+    /// Decompose into `(rows, cols, colptr, rowidx, values)` — the
+    /// inverse of [`CscMatrix::from_parts`]. Exists so hot paths can
+    /// recycle the heap allocations of a matrix they are done with
+    /// (see `lra_sparse::slice_columns_recycled`).
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<f64>) {
+        (self.rows, self.cols, self.colptr, self.rowidx, self.values)
+    }
+
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         CscMatrix {

@@ -23,7 +23,7 @@ mod spa;
 
 pub use coo::CooMatrix;
 pub use csc::{CscMatrix, SparseBuilder};
-pub use dist::{gather_csc, scatter_csc, ColSlice};
+pub use dist::{gather_csc, scatter_csc, slice_columns_recycled, ColSlice};
 pub use csr::CsrMatrix;
 pub use io::{
     read_matrix_market, read_matrix_market_file, write_matrix_market, write_matrix_market_file,

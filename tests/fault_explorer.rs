@@ -1,6 +1,7 @@
 //! Fault-point explorer acceptance: enumerate every injection site of
-//! a small supervised ILUT_CRTP run — every iteration × {kill, timeout},
-//! every checkpoint save × every storage-fault flavor, and a budget
+//! a small supervised ILUT_CRTP run — every iteration × {kill, timeout,
+//! mid-overlap kill, mid-overlap stall}, every checkpoint save × every
+//! storage-fault flavor, and a budget
 //! cancel at every iteration boundary — and assert the supervisor
 //! invariants at each: recovery, a typed error, or a typed budget trip,
 //! never a panic; same-grid resumes (including resume-from-cancel)
@@ -31,6 +32,7 @@ fn quick_matrix_has_no_invariant_violations() {
         stall: Duration::from_millis(750),
         policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
         comm_sites: true,
+        overlap_sites: true,
         storage_sites: true,
         cancel_sites: true,
         on_disk: Some(dir.clone()),
@@ -40,12 +42,13 @@ fn quick_matrix_has_no_invariant_violations() {
     let table = report.render_table();
     println!("{table}");
 
-    // Site space: 2 comm sites per iteration + 5 storage flavors per
-    // save (one save per iteration at ckpt_every=1) + one cancel site
-    // per iteration boundary (0..=iterations).
+    // Site space: 2 comm sites + 2 mid-overlap sites per iteration +
+    // 5 storage flavors per save (one save per iteration at
+    // ckpt_every=1) + one cancel site per iteration boundary
+    // (0..=iterations).
     assert_eq!(
         report.verdicts.len(),
-        2 * report.iterations + 5 * report.saves as usize + report.iterations + 1,
+        4 * report.iterations + 5 * report.saves as usize + report.iterations + 1,
         "{table}"
     );
     assert!(report.iterations >= 3, "matrix too small to explore: {table}");
@@ -68,6 +71,27 @@ fn quick_matrix_has_no_invariant_violations() {
                     v.bitwise_match,
                     Some(true),
                     "same-grid timeout resume must be bitwise: {table}"
+                );
+            }
+            InjectionSite::OverlapKill { .. } => {
+                // A kill with the re-shard in flight must still be
+                // absorbed as a permanent failure: typed, recovered on
+                // a shrunk grid, never a hang or torn shard.
+                assert_eq!(v.outcome, SiteOutcome::Recovered, "{} in\n{table}", v.site);
+                assert!(
+                    v.final_np < cfg.np,
+                    "mid-overlap kill must shrink the grid: {table}"
+                );
+            }
+            InjectionSite::OverlapStall { .. } => {
+                // The stalled rank's sends are already posted, so its
+                // peers surface a typed timeout in a later collective
+                // and the retry succeeds on the same grid, bitwise.
+                assert_eq!(v.outcome, SiteOutcome::Recovered, "{} in\n{table}", v.site);
+                assert_eq!(
+                    v.bitwise_match,
+                    Some(true),
+                    "same-grid mid-overlap stall resume must be bitwise: {table}"
                 );
             }
             InjectionSite::Storage { kind, save_index } => {

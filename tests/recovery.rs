@@ -320,6 +320,7 @@ fn chaos_soak_always_completes_or_fails_typed() {
         stall: Duration::from_millis(900),
         policy: RecoveryPolicy::default().with_backoff(Duration::from_millis(5)),
         comm_sites: true,
+        overlap_sites: false,
         storage_sites: false,
         cancel_sites: false,
         on_disk: None,

@@ -164,13 +164,24 @@ fn mixed_priority_soak_matches_solo_runs() {
         assert_same_factors(&report.into_result(), &oracle, &label);
     }
 
-    // The scrape is valid JSON carrying the serve metrics.
+    // The scrape is valid JSON carrying the serve metrics and the
+    // per-collective wire traffic of the jobs it ran: a sharded ILUT
+    // job always re-shards over alltoallv, so its byte counter must be
+    // present and nonzero, as must the posted-overlap counter.
     let parsed = lra::obs::Json::parse(&scrape).expect("scrape must parse");
     assert_eq!(
         parsed.get("schema").and_then(|s| s.as_str()),
         Some("serve_scrape_v1")
     );
     assert!(parsed.get("metrics").is_some());
+    let comm = parsed.get("comm").expect("scrape must carry a comm section");
+    let comm_num = |key: &str| {
+        comm.get(key)
+            .and_then(lra::obs::Json::as_f64)
+            .unwrap_or_else(|| panic!("comm section missing {key}: {scrape}"))
+    };
+    assert!(comm_num("comm.bytes.alltoallv") > 0.0, "{scrape}");
+    assert!(comm_num("comm.overlap.hidden_ns") > 0.0, "{scrape}");
 }
 
 #[test]
